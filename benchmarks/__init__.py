@@ -1,0 +1,2 @@
+"""Benchmark harness: one module per thesis table/figure plus substrate
+microbenchmarks and DBA ablations. Run ``pytest benchmarks/ --benchmark-only``."""

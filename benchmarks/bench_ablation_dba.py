@@ -1,0 +1,129 @@
+"""DBA design-choice ablations (DESIGN.md section 4 knobs).
+
+Three studies on skewed-3 / BW set 1 traffic:
+
+1. **Channel cap** -- table 3-3 caps the d-HetPNoC write channel at 8
+   wavelengths; what do tighter caps cost? (A cap of 4 collapses to the
+   Firefly configuration.)
+2. **Reserved floor** -- the 1-wavelength-per-cluster starvation floor of
+   section 3.2.1; raising it shrinks the dynamic pool.
+3. **Retry backoff** -- the reservation retransmission policy.
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED, emit
+from repro.arch.config import SystemConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import Fidelity, run_once
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+ABLATION_FIDELITY = Fidelity("ablation", 1_500, 200, (0.6,))
+LOAD_GBPS = 480.0
+
+
+def run_with_config(config: SystemConfig) -> float:
+    result = run_once(
+        "dhetpnoc", BW_SET_1, "skewed3", LOAD_GBPS,
+        ABLATION_FIDELITY, SEED, config=config,
+    )
+    return result.delivered_gbps
+
+
+def test_ablation_channel_cap(benchmark, results_dir):
+    import dataclasses
+
+    def study():
+        rows = []
+        for cap in (4, 6, 8):
+            bw_set = dataclasses.replace(
+                BW_SET_1, dhet_max_channel_wavelengths=cap
+            )
+            config = SystemConfig(bw_set=bw_set)
+            rows.append([cap, round(run_with_config(config), 1)])
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation-channel-cap",
+        ascii_table(["max channel wavelengths", "delivered Gb/s"], rows,
+                    title="Ablation: d-HetPNoC per-channel wavelength cap"),
+    )
+    # Cap 4 == the Firefly split; the table 3-3 cap of 8 must beat it.
+    by_cap = dict(rows)
+    assert by_cap[8] > by_cap[4]
+
+
+def test_ablation_reserved_floor(benchmark, results_dir):
+    def study():
+        rows = []
+        for reserved in (1, 2):
+            config = SystemConfig(
+                bw_set=BW_SET_1, reserved_wavelengths_per_cluster=reserved
+            )
+            rows.append([reserved, round(run_with_config(config), 1)])
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation-reserved-floor",
+        ascii_table(["reserved wavelengths/cluster", "delivered Gb/s"], rows,
+                    title="Ablation: starvation floor size"),
+    )
+    assert all(delivered > 0 for _r, delivered in rows)
+
+
+def test_ablation_retry_backoff(benchmark, results_dir):
+    def study():
+        rows = []
+        for backoff in (2, 8, 32):
+            config = SystemConfig(bw_set=BW_SET_1, retry_backoff_cycles=backoff)
+            rows.append([backoff, round(run_with_config(config), 1)])
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation-retry-backoff",
+        ascii_table(["backoff cycles", "delivered Gb/s"], rows,
+                    title="Ablation: reservation retry backoff"),
+    )
+    assert all(delivered > 0 for _b, delivered in rows)
+
+
+def test_ablation_token_overhead(benchmark, results_dir):
+    """Token circulation is off the data path (thesis 3.2.1): delivered
+    bandwidth with the ring running vs frozen should match closely."""
+    from repro.arch.dhetpnoc import DHetPNoC
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+    from repro.traffic.generator import TrafficGenerator
+    from repro.traffic.patterns import SkewedTraffic
+
+    def run(circulate: bool) -> float:
+        streams = RandomStreams(SEED)
+        config = SystemConfig(bw_set=BW_SET_1)
+        sim = Simulator(seed=SEED)
+        pattern = SkewedTraffic(3).bind(config.bw_set, 16, 4, streams.get("placement"))
+        noc = DHetPNoC(sim, config, pattern=pattern, circulate_token=circulate)
+        generator = TrafficGenerator.for_offered_gbps(
+            pattern, LOAD_GBPS, streams.get("traffic"), noc.submit, config.clock_hz
+        )
+        noc.attach_generator(generator)
+        sim.run_with_reset(ABLATION_FIDELITY.total_cycles, ABLATION_FIDELITY.reset_cycles)
+        return noc.metrics.delivered_gbps(config.clock_hz)
+
+    def study():
+        return [["circulating", round(run(True), 1)], ["frozen", round(run(False), 1)]]
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation-token-overhead",
+        ascii_table(["token ring", "delivered Gb/s"], rows,
+                    title="Ablation: token circulation overhead (steady demand)"),
+    )
+    circulating, frozen = rows[0][1], rows[1][1]
+    assert circulating == pytest.approx(frozen, rel=0.02)

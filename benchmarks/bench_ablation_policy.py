@@ -1,0 +1,89 @@
+"""Allocation-policy ablation: thesis mechanism vs proportional share.
+
+The thesis's conclusion lists "better ways to effectively manage
+bandwidth allocation" as future work. This bench compares the paper's
+max-request policy against the proportional-share extension under an
+*oversubscribed* demand scenario -- every cluster hosting a top-class
+application (chip demand 16 x 8 = 128 wavelengths vs a 64-wavelength
+pool), the case where first-come hoarding hurts.
+"""
+
+import random
+
+from benchmarks.conftest import SEED, emit
+from repro.arch.config import SystemConfig
+from repro.arch.dhetpnoc import DHetPNoC
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import Fidelity
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.bandwidth_sets import BW_SET_1
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import UniformRandomTraffic
+
+FIDELITY = Fidelity("policy", 1_500, 200, (0.6,))
+
+
+class OversubscribedTraffic(UniformRandomTraffic):
+    """Uniform communication, but every cluster demands the top class."""
+
+    name = "oversubscribed"
+
+    def demand_wavelengths(self, src_cluster: int, dst_cluster: int) -> int:
+        bw_set = self._require_bound()
+        return bw_set.dhet_max_channel_wavelengths  # 8 at BW set 1
+
+
+def run(policy: str) -> dict:
+    streams = RandomStreams(SEED)
+    config = SystemConfig(bw_set=BW_SET_1)
+    sim = Simulator(seed=SEED)
+    pattern = OversubscribedTraffic().bind(
+        BW_SET_1, config.n_clusters, config.cores_per_cluster,
+        streams.get("placement"),
+    )
+    noc = DHetPNoC(sim, config, pattern=pattern, allocation_policy=policy)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, 480.0, streams.get("traffic"), noc.submit, config.clock_hz
+    )
+    noc.attach_generator(generator)
+    sim.run_with_reset(FIDELITY.total_cycles, FIDELITY.reset_cycles)
+    holdings = sorted(noc.allocation_snapshot().values())
+    return {
+        "delivered": noc.metrics.delivered_gbps(config.clock_hz),
+        "min_held": holdings[0],
+        "max_held": holdings[-1],
+        "starved": sum(1 for h in holdings if h <= 1),
+    }
+
+
+def test_ablation_allocation_policy(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: {p: run(p) for p in ("max_request", "proportional")},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            policy,
+            round(r["delivered"], 1),
+            r["min_held"],
+            r["max_held"],
+            r["starved"],
+        ]
+        for policy, r in results.items()
+    ]
+    emit(
+        results_dir,
+        "ablation-allocation-policy",
+        ascii_table(
+            ["policy", "delivered Gb/s", "min held", "max held",
+             "clusters at floor"],
+            rows,
+            title="Ablation: allocation policy under oversubscribed demand",
+        ),
+    )
+    max_request, proportional = results["max_request"], results["proportional"]
+    # Proportional sharing removes starvation...
+    assert proportional["starved"] < max_request["starved"]
+    # ...and does not lose aggregate bandwidth doing so.
+    assert proportional["delivered"] >= 0.95 * max_request["delivered"]

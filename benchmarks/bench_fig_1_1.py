@@ -1,0 +1,17 @@
+"""Benchmark regenerating figure 1-1 (GPU flit-size speedup motivation).
+
+Thesis claims to reproduce: "most of the benchmarks show very modest
+performance improvement of less than below 1%. On the other hand a few of
+the benchmarks show considerable speedup of up to 63%."
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure_1_1
+
+
+def test_figure_1_1(benchmark, results_dir):
+    result = benchmark(figure_1_1)
+    emit(results_dir, "figure-1-1", result.render())
+    pcts = result.column("speedup %")
+    assert max(pcts) > 55.0
+    assert sum(1 for p in pcts if p < 1.0) >= len(pcts) // 2

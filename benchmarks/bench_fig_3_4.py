@@ -1,0 +1,23 @@
+"""Benchmark regenerating figure 3-4: packet energy at saturation.
+
+Thesis shape: equal EPM under uniform traffic; with skew, Firefly's
+congestion raises its packet energy while d-HetPNoC's stays lower.
+Shares the saturation-sweep cache with figure 3-3.
+"""
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import figure_3_4
+
+
+def test_figure_3_4(benchmark, fidelity, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure_3_4(fidelity=fidelity, seed=SEED), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure-3-4", result.render())
+
+    for bw_set in ("BW Set 1", "BW Set 2", "BW Set 3"):
+        changes = {
+            row[1]: row[4] for row in result.rows if row[0] == bw_set
+        }
+        assert abs(changes["uniform"]) < 5.0   # near-tie when identical
+        assert changes["skewed3"] < 0          # d-HetPNoC cheaper under skew

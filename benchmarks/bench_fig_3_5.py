@@ -1,0 +1,20 @@
+"""Benchmark regenerating figure 3-5: hotspot + real-application studies.
+
+Thesis claim: "In all the cases the peak bandwidth of the d-HetPNoC is
+better than the Firefly architecture ... The same trend is observed
+regardless of the actual percentage traffic with the hotspot."
+"""
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import figure_3_5
+
+
+def test_figure_3_5(benchmark, fidelity, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure_3_5(fidelity=fidelity, seed=SEED), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure-3-5", result.render())
+
+    for row in result.rows:
+        pattern, ff_bw, dhet_bw = row[0], row[1], row[2]
+        assert dhet_bw > ff_bw, f"d-HetPNoC should win on {pattern}"

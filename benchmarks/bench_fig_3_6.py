@@ -1,0 +1,21 @@
+"""Benchmark regenerating figure 3-6: MRR area vs aggregate bandwidth.
+
+Exact reference points from section 3.4.3: d-HetPNoC 1.608 mm^2 and
+Firefly 1.367 mm^2 at 64 data wavelengths.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure_3_6
+
+
+def test_figure_3_6(benchmark, results_dir):
+    result = benchmark(figure_3_6)
+    emit(results_dir, "figure-3-6", result.render())
+
+    row64 = next(r for r in result.rows if r[0] == 64)
+    assert row64[2] == pytest.approx(1.608, abs=0.001)
+    assert row64[3] == pytest.approx(1.367, abs=0.001)
+    overheads = result.column("overhead %")
+    assert overheads == sorted(overheads)

@@ -1,0 +1,21 @@
+"""Benchmark regenerating figure 3-7: d-HetPNoC scaling across BW sets.
+
+Thesis shape: "for all traffic patterns, there is a significant
+improvement in peak bandwidth and decrease in energy per message with
+increase in total bandwidth requirement."
+"""
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import figure_3_7
+
+
+def test_figure_3_7(benchmark, fidelity, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure_3_7(fidelity=fidelity, seed=SEED), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure-3-7", result.render())
+
+    for pattern in ("uniform", "skewed3"):
+        peaks = [row[3] for row in result.rows if row[1] == pattern]
+        # Aggregate peak bandwidth grows strongly from set 1 to set 3.
+        assert peaks[2] > 3 * peaks[0]

@@ -1,0 +1,23 @@
+"""Benchmark regenerating figure 3-8: d-HetPNoC area vs peak bandwidth.
+
+Thesis reference: going 64 -> 512 wavelengths under skewed-3 traffic, the
+area grows +70% while peak bandwidth grows +751.31% -- strongly
+sub-linear area cost per delivered Gb/s. The +70% area is an exact model
+output; the bandwidth scaling factor is measured from the simulator.
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import figure_3_8
+
+
+def test_figure_3_8(benchmark, fidelity, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure_3_8(fidelity=fidelity, seed=SEED), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure-3-8", result.render())
+
+    row512 = next(r for r in result.rows if r[0] == 512)
+    assert row512[2] == pytest.approx(70.0, abs=1.0)  # area +70% exact
+    assert row512[4] > 200.0  # bandwidth grows far faster than area

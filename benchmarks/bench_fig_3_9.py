@@ -1,0 +1,23 @@
+"""Benchmark regenerating figure 3-9: d-HetPNoC area vs energy/message.
+
+Thesis reference: 64 -> 512 wavelengths costs +70% area while packet
+energy *decreases* by ~10.89% -- per-bit photonic costs are constant, so
+only the buffering/congestion share of EPM moves.
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import figure_3_9
+
+
+def test_figure_3_9(benchmark, fidelity, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure_3_9(fidelity=fidelity, seed=SEED), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure-3-9", result.render())
+
+    row512 = next(r for r in result.rows if r[0] == 512)
+    assert row512[2] == pytest.approx(70.0, abs=1.0)
+    # EPM moves only modestly while area grows 70%.
+    assert abs(row512[4]) < 35.0

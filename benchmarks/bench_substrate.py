@@ -1,0 +1,99 @@
+"""Substrate microbenchmarks: the hot paths under every experiment.
+
+These time the simulator's building blocks in isolation, so regressions
+in the cycle kernel, the 3-stage router, the photonic channel or the DBA
+token machinery show up directly rather than smeared across a whole
+figure reproduction.
+"""
+
+import random
+
+from repro.dba.controller import DBAController, TokenRing
+from repro.dba.token import WavelengthToken
+from repro.noc.flit import Packet, packetize
+from repro.noc.network import ElectricalNetwork
+from repro.noc.router import RouterConfig
+from repro.noc.topology import mesh
+from repro.photonic.channel import DataChannel
+from repro.photonic.reservation import ReservationFlit
+from repro.photonic.wavelength import WavelengthId
+from repro.sim.engine import Simulator
+
+
+def test_mesh_network_cycle_rate(benchmark):
+    """Cost of one simulated cycle of a loaded 4x4 electrical mesh."""
+    topo = mesh(4, 4)
+    net = ElectricalNetwork(topo, router_config=RouterConfig(n_vcs=4, vc_depth=16))
+    sim = Simulator()
+    sim.register(net)
+    rng = random.Random(1)
+
+    def run_chunk():
+        for _ in range(20):
+            src, dst = rng.sample(range(16), 2)
+            net.submit(Packet(src=src, dst=dst, n_flits=4, flit_bits=32,
+                              created_cycle=sim.cycle))
+        sim.run(100)
+
+    benchmark(run_chunk)
+    assert net.metrics.packets_delivered > 0
+
+
+def test_photonic_channel_serialization(benchmark):
+    """Streaming one 2048-bit packet over an 8-wavelength channel."""
+
+    def serialize():
+        channel = DataChannel(0)
+        packet = Packet(src=0, dst=8, n_flits=64, flit_bits=32)
+        flits = packetize(packet)
+        reservation = ReservationFlit(0, 2, packet.pid, packet.n_flits)
+        channel.begin(reservation, 64, 32, 8, 0)
+        pending = list(flits)
+        cycle = 0
+        while channel.busy:
+            while pending and channel.wanted_flits() > 0:
+                channel.feed(pending.pop(0))
+            channel.tick(cycle)
+            cycle += 1
+        return cycle
+
+    cycles = benchmark(serialize)
+    assert 50 <= cycles <= 55  # 2048 bits / 40 bits-per-cycle
+
+
+def test_token_ring_round(benchmark):
+    """One full token circulation over 16 DBA controllers."""
+    sim = Simulator()
+    controllers = [
+        DBAController(c, 16, 4, [WavelengthId.from_flat(c)], 8) for c in range(16)
+    ]
+    for controller in controllers:
+        controller.update_core_demand_uniform(0, 4)
+    token = WavelengthToken([WavelengthId.from_flat(16 + i) for i in range(48)])
+    ring = TokenRing(sim, controllers, token)
+
+    benchmark(ring.run_round_immediately)
+    assert all(c.held_count >= 1 for c in controllers)
+
+
+def test_full_system_cycle_rate(benchmark):
+    """Cost of one simulated cycle of the loaded 64-core d-HetPNoC."""
+    from repro.arch.config import SystemConfig
+    from repro.arch.dhetpnoc import DHetPNoC
+    from repro.sim.rng import RandomStreams
+    from repro.traffic.bandwidth_sets import BW_SET_1
+    from repro.traffic.generator import TrafficGenerator
+    from repro.traffic.patterns import SkewedTraffic
+
+    streams = RandomStreams(3)
+    config = SystemConfig(bw_set=BW_SET_1)
+    sim = Simulator(seed=3)
+    pattern = SkewedTraffic(3).bind(config.bw_set, 16, 4, streams.get("placement"))
+    noc = DHetPNoC(sim, config, pattern=pattern)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, 400.0, streams.get("traffic"), noc.submit, config.clock_hz
+    )
+    noc.attach_generator(generator)
+
+    benchmark.pedantic(lambda: sim.run(200), rounds=3, iterations=1, warmup_rounds=1)
+    assert noc.metrics.packets_delivered > 0

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating the configuration tables 3-1 through 3-5.
+
+These are static reproductions (constants wired through the library), so
+the benchmark times the table construction; the value is the emitted
+artifact in results/.
+"""
+
+from benchmarks.conftest import SEED, emit
+from repro.experiments.figures import (
+    table_3_1,
+    table_3_2,
+    table_3_3,
+    table_3_4,
+    table_3_5,
+)
+
+
+def test_table_3_1(benchmark, results_dir):
+    result = benchmark(table_3_1)
+    emit(results_dir, "table-3-1", result.render())
+    assert result.rows[0][1] == 64
+
+
+def test_table_3_2(benchmark, results_dir):
+    result = benchmark(table_3_2)
+    emit(results_dir, "table-3-2", result.render())
+    assert result.rows[2][1] == "90%"
+
+
+def test_table_3_3(benchmark, results_dir):
+    result = benchmark(table_3_3)
+    emit(results_dir, "table-3-3", result.render())
+
+
+def test_table_3_4(benchmark, results_dir):
+    result = benchmark(table_3_4)
+    emit(results_dir, "table-3-4", result.render())
+
+
+def test_table_3_5(benchmark, results_dir):
+    result = benchmark(table_3_5)
+    emit(results_dir, "table-3-5", result.render())
+    assert result.rows[0][1] == 0.04

@@ -1,0 +1,43 @@
+"""Shared fixtures for the per-exhibit benchmark harness.
+
+Every thesis table and figure has a bench here. Run::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FIDELITY=paper`` for the full table 3-3 schedule (10 000
+cycles, dense sweeps); the default ``quick`` schedule preserves every
+qualitative shape at a fraction of the runtime. Rendered exhibits are
+written to ``results/<exhibit>.txt`` so the reproduced rows survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import fidelity_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: One seed for the whole benchmark session (determinism + cache sharing).
+SEED = 1
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    return fidelity_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, rendered: str) -> None:
+    """Print the exhibit and persist it under results/."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Chapter-1 motivation study: electrical mesh vs photonic crossbar.
+
+Thesis section 1.5 argues that electrical wires cannot scale to future
+CMP bandwidths while photonic interconnects offer "high bandwidth low
+latency communication" with lower energy. This example quantifies the
+claim with the reproduction's own substrates: a generous 64-core
+electrical CLICHE mesh (32-bit links, XY routing, table 3-3 routers)
+against the Firefly photonic crossbar, across offered loads and
+bandwidth sets.
+
+Run:  python examples/electrical_vs_photonic.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch.config import SystemConfig
+from repro.arch.electrical_baseline import ElectricalMeshNoC
+from repro.arch.firefly import FireflyNoC
+from repro.experiments.report import ascii_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic import BANDWIDTH_SETS, BW_SET_1
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import UniformRandomTraffic
+
+
+def run(noc_cls, offered_gbps, bw_set, seed=17, cycles=3000):
+    streams = RandomStreams(seed)
+    config = SystemConfig(bw_set=bw_set)
+    sim = Simulator(clock_hz=config.clock_hz, seed=seed)
+    noc = noc_cls(sim, config)
+    pattern = UniformRandomTraffic().bind(
+        bw_set, config.n_clusters, config.cores_per_cluster,
+        streams.get("placement"),
+    )
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, offered_gbps, streams.get("traffic"), noc.submit,
+        config.clock_hz,
+    )
+    noc.attach_generator(generator)
+    sim.run_with_reset(cycles, cycles // 10)
+    noc.finalize()
+    return noc
+
+
+def load_sweep(bw_set, loads, seed):
+    rows = []
+    for offered in loads:
+        mesh_noc = run(ElectricalMeshNoC, offered, bw_set, seed)
+        photonic = run(FireflyNoC, offered, bw_set, seed)
+        clock = 2.5e9
+        rows.append([
+            f"{offered:g}",
+            round(mesh_noc.metrics.delivered_gbps(clock), 1),
+            round(photonic.metrics.delivered_gbps(clock), 1),
+            round(mesh_noc.metrics.latency.mean, 1),
+            round(photonic.metrics.latency.mean, 1),
+            round(mesh_noc.energy_per_message_pj, 0),
+            round(photonic.energy_per_message_pj, 0),
+        ])
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    print("Uniform traffic, BW set 1 (photonic aggregate 800 Gb/s):\n")
+    rows = load_sweep(BW_SET_1, (100, 300, 600, 900), args.seed)
+    print(ascii_table(
+        ["offered Gb/s", "mesh Gb/s", "photonic Gb/s",
+         "mesh lat", "photonic lat", "mesh EPM pJ", "photonic EPM pJ"],
+        rows,
+    ))
+    print()
+    print("Scaling the photonic budget (offered = 60% of aggregate):\n")
+    rows = []
+    for bw_set in BANDWIDTH_SETS:
+        offered = 0.6 * bw_set.aggregate_gbps
+        mesh_noc = run(ElectricalMeshNoC, offered, bw_set, args.seed)
+        photonic = run(FireflyNoC, offered, bw_set, args.seed)
+        clock = 2.5e9
+        rows.append([
+            bw_set.name,
+            f"{offered:g}",
+            round(mesh_noc.metrics.delivered_gbps(clock), 1),
+            round(photonic.metrics.delivered_gbps(clock), 1),
+        ])
+    print(ascii_table(
+        ["bandwidth set", "offered Gb/s", "mesh Gb/s", "photonic Gb/s"],
+        rows,
+    ))
+    print()
+    print("Reading: the mesh wins raw latency at light load (few-cycle "
+          "hops, no reservation round trip) and even keeps up at BW set "
+          "1's modest budget -- but its 32-bit wires are a hard ceiling, "
+          "while DWDM scales the crossbar past it (section 1.5), at a "
+          "fraction of the multi-hop router+wire energy per message.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Skewed-traffic study: how the d-HetPNoC advantage grows with skew.
+
+Reproduces the core claim of thesis figures 3-3/3-4 as a load sweep: for
+each traffic pattern (uniform, skewed 1-3), sweep offered load, find the
+saturation peak for both architectures, and chart delivered bandwidth.
+
+Run:  python examples/skewed_traffic_study.py [--fidelity quick|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import ascii_table, bar, percent_change
+from repro.experiments.runner import (
+    PAPER_FIDELITY,
+    QUICK_FIDELITY,
+    peak_of,
+    saturation_sweep,
+)
+from repro.traffic import BW_SET_1
+
+PATTERNS = ("uniform", "skewed1", "skewed2", "skewed3")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fidelity", choices=("quick", "paper"), default="quick")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    fidelity = PAPER_FIDELITY if args.fidelity == "paper" else QUICK_FIDELITY
+
+    rows = []
+    curves = {}
+    for pattern in PATTERNS:
+        sweeps = {}
+        for arch in ("firefly", "dhetpnoc"):
+            sweeps[arch] = saturation_sweep(
+                arch, BW_SET_1, pattern, fidelity, seed=args.seed
+            )
+        ff_peak = peak_of(sweeps["firefly"])
+        dh_peak = peak_of(sweeps["dhetpnoc"])
+        curves[pattern] = sweeps
+        rows.append([
+            pattern,
+            round(ff_peak.delivered_gbps, 1),
+            round(dh_peak.delivered_gbps, 1),
+            f"{percent_change(dh_peak.delivered_gbps, ff_peak.delivered_gbps):+.1f}%",
+            round(ff_peak.energy_per_message_pj, 0),
+            round(dh_peak.energy_per_message_pj, 0),
+            f"{percent_change(dh_peak.energy_per_message_pj, ff_peak.energy_per_message_pj):+.1f}%",
+        ])
+
+    print(ascii_table(
+        ["pattern", "FF peak Gb/s", "dHet peak Gb/s", "BW gain",
+         "FF EPM pJ", "dHet EPM pJ", "EPM change"],
+        rows,
+        title=f"Saturation peaks, {BW_SET_1} ({fidelity.name} fidelity)",
+    ))
+
+    print("\nLoad-delivery curves (delivered Gb/s at each offered load):\n")
+    best = max(
+        r.delivered_gbps
+        for sweeps in curves.values()
+        for results in sweeps.values()
+        for r in results
+    )
+    for pattern in PATTERNS:
+        print(f"--- {pattern} ---")
+        for arch in ("firefly", "dhetpnoc"):
+            for result in curves[pattern][arch]:
+                label = f"{arch:9s} @{result.offered_gbps:7.1f}"
+                print(f"  {label} | {bar(result.delivered_gbps, best)} "
+                      f"{result.delivered_gbps:7.1f}")
+        print()
+
+    print("Interpretation: with uniform traffic the two architectures are "
+          "configured identically; as skew rises, Firefly's static 4-wavelength "
+          "channels congest under the high-bandwidth applications while "
+          "d-HetPNoC reallocates wavelengths to them (thesis 3.4.1.1).")
+
+
+if __name__ == "__main__":
+    main()

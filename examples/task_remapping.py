@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Dynamic task remapping: watch the DBA token reallocate wavelengths live.
+
+The thesis motivates DBA with *changing* task maps: "The applications
+mapped on specific cores may change over time due to various reasons such
+as start and end of a task or dynamic thermal management schemes"
+(section 3.2). This example runs d-HetPNoC under skewed traffic, then
+mid-run swaps the application classes of the hottest and coldest clusters
+and shows the token re-balancing wavelengths within a few rounds, with
+delivered bandwidth following.
+
+Run:  python examples/task_remapping.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    BW_SET_1,
+    DHetPNoC,
+    RandomStreams,
+    Simulator,
+    SystemConfig,
+    TrafficGenerator,
+    pattern_by_name,
+)
+from repro.experiments.report import ascii_table
+
+
+def snapshot_row(label: str, noc: DHetPNoC, clusters) -> list:
+    alloc = noc.allocation_snapshot()
+    return [label] + [alloc[c] for c in clusters]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    streams = RandomStreams(args.seed)
+    config = SystemConfig(bw_set=BW_SET_1)
+    sim = Simulator(clock_hz=config.clock_hz, seed=args.seed)
+    pattern = pattern_by_name("skewed3").bind(
+        config.bw_set, config.n_clusters, config.cores_per_cluster,
+        streams.get("placement"),
+    )
+    noc = DHetPNoC(sim, config, pattern=pattern)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, 400.0, streams.get("traffic"), noc.submit, config.clock_hz
+    )
+    noc.attach_generator(generator)
+
+    # Identify the hottest (class 3) and coldest (class 0) clusters.
+    classes = {c: pattern.class_of_cluster(c) for c in range(config.n_clusters)}
+    hot = min(c for c, k in classes.items() if k == 3)
+    cold = min(c for c, k in classes.items() if k == 0)
+    watch = sorted({hot, cold})
+
+    rows = [snapshot_row("t=0 (after warm start)", noc, watch)]
+
+    sim.run(2_000)
+    rows.append(snapshot_row("t=2000 (steady)", noc, watch))
+
+    # Task remap: the hot cluster's job finishes (demand drops to 1
+    # wavelength); the cold cluster picks up a 100 Gb/s task (8
+    # wavelengths). Each core reports its new demand table (section 3.2.1).
+    low = {d: 1 for d in range(config.n_clusters) if d != hot}
+    high = {d: 8 for d in range(config.n_clusters) if d != cold}
+    for slot in range(config.cores_per_cluster):
+        noc.remap_demand(hot, slot, low)
+        noc.remap_demand(cold, slot, high)
+    print(f"cycle {sim.cycle}: remapping tasks -- cluster {hot} (was class 3) "
+          f"drops to 1 wavelength; cluster {cold} (was class 0) now wants 8")
+
+    # Within one worst-case token repossession the allocation should move.
+    settle = 4 * noc.token_ring.worst_case_repossession_cycles()
+    sim.run(max(settle, 200))
+    rows.append(snapshot_row(f"t={sim.cycle} (after remap)", noc, watch))
+
+    sim.run(2_000)
+    rows.append(snapshot_row(f"t={sim.cycle} (steady again)", noc, watch))
+
+    print()
+    print(ascii_table(
+        ["moment"] + [f"cluster {c}" for c in watch],
+        rows,
+        title="Held wavelengths around a task remap",
+    ))
+    print()
+    print(f"token: {noc.token_ring.rounds_completed} rounds, "
+          f"{noc.token_ring.hops} hops, "
+          f"worst-case repossession "
+          f"{noc.token_ring.worst_case_repossession_cycles()} cycles")
+    print("The relinquish path (thesis 3.2.1) frees the hot cluster's "
+          "wavelengths into the token; the cold cluster captures them on "
+          "its next token visit -- no packet transfer ever stalls on the "
+          "control plane.")
+
+
+if __name__ == "__main__":
+    main()

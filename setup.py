@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs (`pyproject.toml` build backend) cannot build. With this shim pip
+falls back to `setup.py develop`, which needs only setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Analytical cross-validation models.
+
+:mod:`repro.analysis.saturation` predicts each architecture's saturation
+knee from first principles (channel capacities vs. offered-traffic
+shares); the test suite checks the cycle-accurate simulator against it.
+"""
+
+from repro.analysis.saturation import (
+    SaturationModel,
+    channel_capacity_gbps,
+    channel_shares,
+)
+
+__all__ = ["SaturationModel", "channel_capacity_gbps", "channel_shares"]

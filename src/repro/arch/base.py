@@ -1,0 +1,224 @@
+"""The crossbar PNoC base shared by Firefly and d-HetPNoC.
+
+Thesis 3.1: "we have considered a hierarchical, hybrid configuration
+crossbar as in [20]. The whole CMP is divided into clusters of 4 cores ...
+interconnected using traditional copper interconnects in an all-to-all
+manner ... Each cluster is equipped with a photonic router, which is
+interconnected using photonic channels with all other photonic routers."
+
+Both architectures share everything except the *transmission plan*
+(how many wavelengths a source uses toward a destination, and what the
+reservation flit carries) and the *receiver demodulator policy* -- the
+exact differences sections 3.2/3.3 describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.config import SystemConfig
+from repro.arch.photonic_router import ClusterGateway, TxPlan
+from repro.energy.model import EnergyAccount
+from repro.noc.flit import Flit, Packet
+from repro.photonic.reservation import ReservationFlit
+from repro.sim.engine import ClockedComponent, Simulator
+from repro.sim.stats import RunningMean
+from repro.traffic.generator import TrafficGenerator
+
+
+@dataclass
+class ArchMetrics:
+    """Delivery, drop and latency metrics for one run."""
+
+    packets_accepted: int = 0
+    packets_refused: int = 0
+    packets_delivered: int = 0
+    packets_delivered_photonic: int = 0
+    bits_delivered: int = 0
+    bits_delivered_photonic: int = 0
+    flits_delivered: int = 0
+    reservations_sent: int = 0
+    reservations_nacked: int = 0
+    reservation_retries: int = 0
+    packets_dropped_flits: int = 0
+    packets_abandoned: int = 0
+    measured_cycles: int = 0
+    latency: RunningMean = field(default_factory=lambda: RunningMean("latency"))
+
+    def delivered_gbps(self, clock_hz: float) -> float:
+        if self.measured_cycles <= 0:
+            return 0.0
+        return self.bits_delivered * clock_hz / self.measured_cycles / 1e9
+
+    def photonic_gbps(self, clock_hz: float) -> float:
+        if self.measured_cycles <= 0:
+            return 0.0
+        return self.bits_delivered_photonic * clock_hz / self.measured_cycles / 1e9
+
+    def per_core_gbps(self, clock_hz: float, n_cores: int) -> float:
+        return self.delivered_gbps(clock_hz) / n_cores
+
+    def reset(self) -> None:
+        self.packets_accepted = 0
+        self.packets_refused = 0
+        self.packets_delivered = 0
+        self.packets_delivered_photonic = 0
+        self.bits_delivered = 0
+        self.bits_delivered_photonic = 0
+        self.flits_delivered = 0
+        self.reservations_sent = 0
+        self.reservations_nacked = 0
+        self.reservation_retries = 0
+        self.packets_dropped_flits = 0
+        self.packets_abandoned = 0
+        self.measured_cycles = 0
+        self.latency.reset()
+
+
+class PhotonicCrossbarNoC(ClockedComponent):
+    """Base architecture: 16 gateways over an R-SWMR photonic crossbar.
+
+    Subclasses implement :meth:`tx_plan` and :meth:`rx_demodulators_on`
+    (and may add control machinery such as the DBA token ring).
+    """
+
+    name = "pnoc"
+
+    def __init__(self, sim: Simulator, config: SystemConfig):
+        self.sim = sim
+        self.config = config
+        self.energy = EnergyAccount(clock_hz=config.clock_hz)
+        self.metrics = ArchMetrics()
+        self.current_cycle = 0
+        self.gateways: List[ClusterGateway] = [
+            ClusterGateway(cluster, self) for cluster in range(config.n_clusters)
+        ]
+        self._generator: Optional[TrafficGenerator] = None
+        self._tick_hooks: List = []
+        sim.register(self)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @property
+    def n_data_waveguides(self) -> int:
+        return self.config.bw_set.n_waveguides
+
+    def tx_plan(self, src_cluster: int, dst_cluster: int) -> TxPlan:
+        raise NotImplementedError
+
+    def rx_demodulators_on(self, reservation: ReservationFlit) -> int:
+        raise NotImplementedError
+
+    def lit_wavelengths(self) -> int:
+        """Wavelengths the laser must keep lit (static power reporting)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Traffic plumbing
+    # ------------------------------------------------------------------
+    def attach_generator(self, generator: TrafficGenerator) -> None:
+        self._generator = generator
+
+    def add_tick_hook(self, hook) -> None:
+        """Register a callable(cycle) run at the start of every cycle
+        (used by trace replay and failure injection)."""
+        self._tick_hooks.append(hook)
+
+    def submit(self, packet: Packet) -> bool:
+        """Inject *packet*; returns False if refused (injection cap)."""
+        src_cluster = self.config.cluster_of(packet.src)
+        dst_cluster = self.config.cluster_of(packet.dst)
+        gateway = self.gateways[src_cluster]
+        if src_cluster == dst_cluster:
+            accepted = gateway.submit_intra_cluster(packet, self.current_cycle)
+        else:
+            accepted = gateway.try_submit(packet, self.current_cycle)
+        if accepted:
+            self.metrics.packets_accepted += 1
+        else:
+            self.metrics.packets_refused += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self.current_cycle = cycle
+        for hook in self._tick_hooks:
+            hook(cycle)
+        if self._generator is not None:
+            self._generator.tick(cycle)
+        for gateway in self.gateways:
+            gateway.tick(cycle)
+        self.metrics.measured_cycles += 1
+
+    def note_flit_delivered(self, flit: Flit, cycle: int, photonic: bool) -> None:
+        self.metrics.flits_delivered += 1
+        self.metrics.bits_delivered += flit.bits
+        if photonic:
+            self.metrics.bits_delivered_photonic += flit.bits
+        if flit.is_tail:
+            self.metrics.packets_delivered += 1
+            if photonic:
+                self.metrics.packets_delivered_photonic += 1
+            self.metrics.latency.add(cycle - flit.packet.created_cycle)
+            self.energy.note_message_delivered()
+
+    def note_packet_delivered_whole(
+        self, packet: Packet, cycle: int, photonic: bool
+    ) -> None:
+        self.metrics.flits_delivered += packet.n_flits
+        self.metrics.bits_delivered += packet.size_bits
+        if photonic:
+            self.metrics.bits_delivered_photonic += packet.size_bits
+            self.metrics.packets_delivered_photonic += 1
+        self.metrics.packets_delivered += 1
+        self.metrics.latency.add(cycle - packet.created_cycle)
+        self.energy.note_message_delivered()
+
+    # ------------------------------------------------------------------
+    # Warm-up reset and finalisation
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.metrics.reset()
+        self.energy.reset()
+        for gateway in self.gateways:
+            gateway.settle_buffers(self.current_cycle)
+            gateway.reset_stats()
+        if self._generator is not None:
+            self._generator.reset_stats()
+
+    def finalize(self) -> None:
+        """Settle buffer accounting and charge retention energy.
+
+        Call once after the measurement window; EPM is only meaningful
+        afterwards (DESIGN.md section 4, buffer-retention rule).
+        """
+        flit_bits = self.config.bw_set.flit_bits
+        for gateway in self.gateways:
+            gateway.settle_buffers(self.current_cycle)
+            self.energy.charge_buffer_retention(
+                flit_bits, gateway.buffer_flit_cycles()
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def energy_per_message_pj(self) -> float:
+        return self.energy.energy_per_message_pj
+
+    def laser_power_mw(self) -> float:
+        return self.energy.laser_static_power_mw(self.lit_wavelengths())
+
+    def channel_utilisation(self) -> Dict[int, float]:
+        cycles = max(1, self.metrics.measured_cycles)
+        return {
+            g.cluster_id: g.channel.busy_cycles / cycles for g in self.gateways
+        }
+
+    def flits_in_system(self) -> int:
+        """All flits accepted but not yet delivered (conservation checks)."""
+        return sum(gateway.flits_held() for gateway in self.gateways)

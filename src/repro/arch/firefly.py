@@ -1,0 +1,52 @@
+"""The Firefly baseline: static uniform wavelength allocation.
+
+Thesis 2.2.1: "Firefly architecture uses Reservation-assisted single write
+multiple read (R-SWMR) ... The disadvantage of this architecture is that
+its inability to dynamically assign bandwidth between pair of nodes
+between clusters. Also since all the modulators and demodulators are on
+for any communication, this architecture is energy inefficient."
+
+Every cluster's write channel statically owns ``total_wavelengths / 16``
+wavelengths (table 3-3: "Firefly PNOC, 4 wavelengths per channel * 16
+channels" for BW set 1); every transmission uses -- and every reception
+powers -- the full channel width.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import PhotonicCrossbarNoC
+from repro.arch.config import SystemConfig
+from repro.arch.photonic_router import TxPlan
+from repro.photonic.reservation import ReservationFlit
+from repro.sim.engine import Simulator
+
+
+class FireflyNoC(PhotonicCrossbarNoC):
+    """Crossbar-based Firefly with uniform static allocation."""
+
+    name = "firefly"
+
+    def __init__(self, sim: Simulator, config: SystemConfig):
+        super().__init__(sim, config)
+        self._channel_wavelengths = config.firefly_channel_wavelengths
+        if self._channel_wavelengths < 1:
+            raise ValueError("Firefly needs >= 1 wavelength per channel")
+        # The reservation flit carries no wavelength identifiers (the
+        # whole static channel is implied), so serialization is 1 cycle.
+        self._plan = TxPlan(
+            n_wavelengths=self._channel_wavelengths,
+            wavelength_ids=(),
+            reservation_cycles=1,
+        )
+
+    def tx_plan(self, src_cluster: int, dst_cluster: int) -> TxPlan:
+        return self._plan
+
+    def rx_demodulators_on(self, reservation: ReservationFlit) -> int:
+        """All channel demodulators turn on, "irrespective of the required
+        data rate" (thesis 3.3.1)."""
+        return self._channel_wavelengths
+
+    def lit_wavelengths(self) -> int:
+        """All data wavelengths are always lit in the static design."""
+        return self.config.bw_set.total_wavelengths

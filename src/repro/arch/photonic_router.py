@@ -1,0 +1,430 @@
+"""The hybrid photonic router (cluster gateway) of thesis fig. 3-2.
+
+Each cluster's gateway has "4 electronic links to the 4 switches in its
+cluster and photonic channels to other clusters" with the same 3-stage
+microarchitecture as the electronic routers (input arbitration,
+routing, output arbitration -- section 3.3.2).
+
+Transmit path (store-and-forward at the gateway):
+
+1. flits arrive from the cluster's cores into per-core input ports
+   (16 VCs x 64 flits, table 3-3);
+2. when a packet is fully buffered, the two arbitration stages nominate
+   it for the single photonic write channel;
+3. a reservation flit is broadcast (R-SWMR); on ACK the packet streams
+   over the channel at 5 bits/cycle per granted wavelength; on NACK the
+   source backs off and retransmits (thesis 1.4 retransmission rule);
+4. launched flits arrive at the destination gateway after the waveguide
+   propagation delay and are ejected to their destination core, one flit
+   per core per cycle.
+
+Energy is charged to the shared :class:`~repro.energy.model.EnergyAccount`
+as events happen (DESIGN.md section 4 lists the charging rules).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.buffer import PortBuffer, VirtualChannelBuffer
+from repro.noc.flit import Flit, Packet, packetize
+from repro.photonic.channel import DataChannel, ReservationBroadcastChannel
+from repro.photonic.reservation import ReservationFlit, reservation_flit_bits
+from repro.photonic.wavelength import WavelengthId, bits_per_cycle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.base import PhotonicCrossbarNoC
+
+
+@dataclass(frozen=True)
+class TxPlan:
+    """Architecture-specific transmission parameters for one destination."""
+
+    n_wavelengths: int
+    wavelength_ids: Tuple[WavelengthId, ...]
+    reservation_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.n_wavelengths < 1:
+            raise ValueError("a transmission needs >= 1 wavelength")
+        if self.reservation_cycles < 1:
+            raise ValueError("reservation serialization is >= 1 cycle")
+
+
+class ClusterGateway:
+    """One cluster's photonic router: TX FSM, RX buffers, ejection."""
+
+    IDLE = "idle"
+    RESERVING = "reserving"
+    STREAMING = "streaming"
+    BACKOFF = "backoff"
+
+    def __init__(self, cluster_id: int, arch: "PhotonicCrossbarNoC"):
+        self.cluster_id = cluster_id
+        self.arch = arch
+        config = arch.config
+        self.config = config
+
+        # -- TX input side: one port per core ---------------------------------
+        self.inputs: List[PortBuffer] = [
+            PortBuffer(config.n_vcs, config.vc_depth_flits)
+            for _ in range(config.cores_per_cluster)
+        ]
+        self._input_arbiters = [
+            RoundRobinArbiter(config.n_vcs) for _ in range(config.cores_per_cluster)
+        ]
+        self._output_arbiter = RoundRobinArbiter(config.cores_per_cluster)
+
+        # Per-core injection pipes (core router -> gateway link, 1 flit/cycle).
+        self._pipe_flits: List[Deque[Flit]] = [
+            deque() for _ in range(config.cores_per_cluster)
+        ]
+        self._pipe_packets: List[int] = [0] * config.cores_per_cluster
+        self._pipe_active_vc: List[Optional[int]] = [None] * config.cores_per_cluster
+
+        # -- photonic channels -------------------------------------------------
+        self.channel = DataChannel(cluster_id, clock_hz=config.clock_hz)
+        self.reservation_channel = ReservationBroadcastChannel(
+            cluster_id,
+            propagation_cycles=config.reservation_propagation_cycles,
+        )
+
+        # -- TX FSM state --------------------------------------------------
+        self._tx_state = self.IDLE
+        self._tx_port: Optional[int] = None
+        self._tx_vc: Optional[int] = None
+        self._tx_reservation: Optional[ReservationFlit] = None
+        self._tx_plan: Optional[TxPlan] = None
+        self._tx_retries = 0
+        self._backoff_until = 0
+
+        # -- RX side ------------------------------------------------------
+        self.rx_buffers: Dict[int, VirtualChannelBuffer] = {
+            src: VirtualChannelBuffer(config.rx_buffer_flits, vc_id=src)
+            for src in range(config.n_clusters)
+            if src != cluster_id
+        }
+        self._rx_reserved: Dict[int, int] = {src: 0 for src in self.rx_buffers}
+        self._inbound: Deque[Tuple[int, Flit]] = deque()
+        self._eject_arbiters = [
+            RoundRobinArbiter(config.n_clusters)
+            for _ in range(config.cores_per_cluster)
+        ]
+
+        # Intra-cluster all-to-all electrical deliveries: (due, packet).
+        self._intra: Deque[Tuple[int, Packet]] = deque()
+
+    # ==================================================================
+    # Injection (called by the architecture's submit path)
+    # ==================================================================
+    def try_submit(self, packet: Packet, cycle: int) -> bool:
+        """Queue *packet* into its source core's injection pipe."""
+        slot = self.config.core_slot(packet.src)
+        if self._pipe_packets[slot] >= self.config.max_pending_packets_per_core:
+            return False
+        self._pipe_flits[slot].extend(packetize(packet))
+        self._pipe_packets[slot] += 1
+        # Source core's electronic router traversal.
+        self.arch.energy.charge_router_traversal(packet.size_bits)
+        return True
+
+    def submit_intra_cluster(self, packet: Packet, cycle: int) -> bool:
+        """All-to-all copper path within the cluster (thesis 3.1)."""
+        latency = self.config.intra_cluster_latency_cycles + packet.n_flits
+        self._intra.append((cycle + latency, packet))
+        self.arch.energy.charge_router_traversal(2 * packet.size_bits)
+        self.arch.energy.charge_buffer_write(packet.size_bits)
+        self.arch.energy.charge_buffer_read(packet.size_bits)
+        return True
+
+    # ==================================================================
+    # Per-cycle step (driven by the architecture)
+    # ==================================================================
+    def tick(self, cycle: int) -> None:
+        self.reservation_channel.tick(cycle)
+        self._deliver_inbound(cycle)
+        self._inject_step(cycle)
+        self._tx_step(cycle)
+        self._eject_step(cycle)
+        self._deliver_intra(cycle)
+
+    # -- injection pipes -------------------------------------------------
+    def _inject_step(self, cycle: int) -> None:
+        for slot in range(self.config.cores_per_cluster):
+            pipe = self._pipe_flits[slot]
+            if not pipe:
+                continue
+            flit = pipe[0]
+            port = self.inputs[slot]
+            if flit.is_head and self._pipe_active_vc[slot] is None:
+                free = port.free_vc_ids()
+                if not free:
+                    continue
+                self._pipe_active_vc[slot] = free[0]
+            vc = self._pipe_active_vc[slot]
+            if vc is None or not port.can_accept(vc):
+                continue
+            flit.vc = vc
+            port.push(flit, cycle)
+            pipe.popleft()
+            self.arch.energy.charge_buffer_write(flit.bits)
+            if flit.is_tail:
+                self._pipe_active_vc[slot] = None
+                self._pipe_packets[slot] -= 1
+
+    # -- transmit FSM ------------------------------------------------------
+    def _tx_step(self, cycle: int) -> None:
+        if self._tx_state == self.BACKOFF and cycle >= self._backoff_until:
+            self._send_reservation(cycle, retry=True)
+        if self._tx_state == self.IDLE:
+            self._tx_arbitrate(cycle)
+        if self._tx_state == self.STREAMING:
+            self._tx_stream(cycle)
+
+    def _tx_arbitrate(self, cycle: int) -> None:
+        """The two arbitration stages of the 3-stage switch."""
+        nominees: Dict[int, int] = {}
+        for port_idx, port in enumerate(self.inputs):
+            ready = [
+                vcb.vc_id for vcb in port if vcb.has_complete_packet()
+            ]
+            winner = self._input_arbiters[port_idx].grant(ready)
+            if winner is not None:
+                nominees[port_idx] = winner
+        if not nominees:
+            return
+        granted_port = self._output_arbiter.grant(sorted(nominees))
+        if granted_port is None:
+            return
+        self._tx_port = granted_port
+        self._tx_vc = nominees[granted_port]
+        head = self.inputs[granted_port][self._tx_vc].peek()
+        assert head is not None and head.is_head
+        dst_cluster = self.config.cluster_of(head.dst)
+        plan = self.arch.tx_plan(self.cluster_id, dst_cluster)
+        self._tx_plan = plan
+        self._tx_reservation = ReservationFlit(
+            src_cluster=self.cluster_id,
+            dst_cluster=dst_cluster,
+            packet_id=head.packet.pid,
+            n_flits=head.packet.n_flits,
+            wavelength_ids=plan.wavelength_ids,
+        )
+        self._tx_retries = 0
+        self._send_reservation(cycle, retry=False)
+
+    def _send_reservation(self, cycle: int, retry: bool) -> None:
+        reservation = self._tx_reservation
+        plan = self._tx_plan
+        assert reservation is not None and plan is not None
+        self._tx_state = self.RESERVING
+        flit_bits = reservation_flit_bits(
+            len(reservation.wavelength_ids), self.arch.n_data_waveguides
+        )
+        dst_gateway = self.arch.gateways[reservation.dst_cluster]
+        self.reservation_channel.broadcast(
+            reservation,
+            serialization_cycles=plan.reservation_cycles,
+            cycle=cycle,
+            deliver=lambda resv: dst_gateway.on_reservation(resv),
+            flit_bits=flit_bits,
+        )
+        # R-SWMR: every other cluster's reservation demodulators see the flit.
+        self.arch.energy.charge_reservation(
+            flit_bits, n_listeners=self.config.n_clusters - 1
+        )
+        self.arch.metrics.reservations_sent += 1
+        if retry:
+            self.arch.metrics.reservation_retries += 1
+
+    # Called by the *destination* gateway object, via the source's channel.
+    def on_reservation(self, reservation: ReservationFlit) -> None:
+        cycle = self.arch.current_cycle
+        src = reservation.src_cluster
+        buffer = self.rx_buffers[src]
+        free = buffer.free_slots - self._rx_reserved[src]
+        accepted = free >= reservation.n_flits
+        if accepted:
+            self._rx_reserved[src] += reservation.n_flits
+            self._charge_reception_window(reservation)
+        else:
+            self.arch.metrics.reservations_nacked += 1
+        src_gateway = self.arch.gateways[src]
+        src_gateway.reservation_channel.respond(
+            reservation,
+            accepted,
+            cycle,
+            deliver=lambda resv, ok: src_gateway.on_reservation_response(resv, ok),
+        )
+
+    def _charge_reception_window(self, reservation: ReservationFlit) -> None:
+        """Demodulator-on energy for the packet's reception window.
+
+        d-HetPNoC switches on only the reserved wavelength subset;
+        Firefly powers the full channel width "irrespective of the
+        required data rate" (thesis 3.3.1).
+        """
+        n_on = self.arch.rx_demodulators_on(reservation)
+        n_used = len(reservation.wavelength_ids) or n_on
+        packet_bits = reservation.n_flits * self.config.bw_set.flit_bits
+        duration = math.ceil(
+            packet_bits / bits_per_cycle(n_used, self.config.clock_hz)
+        )
+        self.arch.energy.charge_demodulators_on(n_on, duration)
+
+    def on_reservation_response(self, reservation: ReservationFlit, accepted: bool) -> None:
+        cycle = self.arch.current_cycle
+        if self._tx_state != self.RESERVING:
+            raise RuntimeError(
+                f"gateway {self.cluster_id}: response in state {self._tx_state}"
+            )
+        plan = self._tx_plan
+        assert plan is not None
+        if accepted:
+            self.channel.begin(
+                reservation,
+                expected_flits=reservation.n_flits,
+                flit_bits=self.config.bw_set.flit_bits,
+                n_wavelengths=plan.n_wavelengths,
+                cycle=cycle,
+            )
+            self._tx_state = self.STREAMING
+            return
+        self._tx_retries += 1
+        self.arch.metrics.packets_dropped_flits += 1
+        if self._tx_retries > self.config.max_retries:
+            self._abandon_packet(cycle)
+            return
+        self._tx_state = self.BACKOFF
+        backoff = self.config.retry_backoff_cycles * min(self._tx_retries, 4)
+        self._backoff_until = cycle + backoff
+
+    def _abandon_packet(self, cycle: int) -> None:
+        """Give up on the head packet after max retries (counted as lost)."""
+        assert self._tx_port is not None and self._tx_vc is not None
+        vcb = self.inputs[self._tx_port][self._tx_vc]
+        while True:
+            flit = vcb.pop(cycle)
+            self.arch.energy.charge_buffer_read(flit.bits)
+            if flit.is_tail:
+                break
+        self.arch.metrics.packets_abandoned += 1
+        self._clear_tx()
+
+    def _clear_tx(self) -> None:
+        self._tx_state = self.IDLE
+        self._tx_port = None
+        self._tx_vc = None
+        self._tx_reservation = None
+        self._tx_plan = None
+        self._tx_retries = 0
+
+    def _tx_stream(self, cycle: int) -> None:
+        assert self._tx_port is not None and self._tx_vc is not None
+        vcb = self.inputs[self._tx_port][self._tx_vc]
+        wanted = self.channel.wanted_flits()
+        while wanted > 0 and not vcb.is_empty():
+            flit = vcb.pop(cycle)
+            self.arch.energy.charge_buffer_read(flit.bits)
+            # Source gateway electronic traversal happens as the flit
+            # crosses from buffer to modulators.
+            self.arch.energy.charge_router_traversal(flit.bits)
+            self.channel.feed(flit)
+            wanted -= 1
+        launched = self.channel.tick(cycle)
+        if launched:
+            bits = sum(f.bits for f in launched)
+            self.arch.energy.charge_photonic_transmit(bits)
+            reservation = self._tx_reservation
+            assert reservation is not None
+            dst_gateway = self.arch.gateways[reservation.dst_cluster]
+            due = cycle + self.config.data_propagation_cycles
+            for flit in launched:
+                dst_gateway.receive_flit(flit, due)
+        if not self.channel.busy:
+            self._clear_tx()
+
+    # ==================================================================
+    # Receive side
+    # ==================================================================
+    def receive_flit(self, flit: Flit, due_cycle: int) -> None:
+        self._inbound.append((due_cycle, flit))
+
+    def _deliver_inbound(self, cycle: int) -> None:
+        inbound = self._inbound
+        while inbound and inbound[0][0] <= cycle:
+            _due, flit = inbound.popleft()
+            src = self.config.cluster_of(flit.src)
+            buffer = self.rx_buffers[src]
+            buffer.push(flit, cycle)
+            self._rx_reserved[src] -= 1
+            self.arch.energy.charge_buffer_write(flit.bits)
+
+    def _eject_step(self, cycle: int) -> None:
+        """One flit per core per cycle from the RX buffers to the cores."""
+        for slot in range(self.config.cores_per_cluster):
+            core = self.cluster_id * self.config.cores_per_cluster + slot
+            candidates = [
+                src
+                for src, buffer in self.rx_buffers.items()
+                if not buffer.is_empty() and buffer.peek().dst == core
+            ]
+            src = self._eject_arbiters[slot].grant(candidates)
+            if src is None:
+                continue
+            flit = self.rx_buffers[src].pop(cycle)
+            self.arch.energy.charge_buffer_read(flit.bits)
+            self.arch.energy.charge_router_traversal(flit.bits)
+            self.arch.note_flit_delivered(flit, cycle, photonic=True)
+
+    def _deliver_intra(self, cycle: int) -> None:
+        intra = self._intra
+        while intra and intra[0][0] <= cycle:
+            _due, packet = intra.popleft()
+            self.arch.note_packet_delivered_whole(packet, cycle, photonic=False)
+
+    # ==================================================================
+    # Accounting helpers
+    # ==================================================================
+    def settle_buffers(self, cycle: int) -> None:
+        for port in self.inputs:
+            port.settle(cycle)
+        for buffer in self.rx_buffers.values():
+            buffer.settle(cycle)
+
+    def buffer_flit_cycles(self) -> int:
+        total = sum(port.flit_cycles for port in self.inputs)
+        total += sum(b.flit_cycles for b in self.rx_buffers.values())
+        return total
+
+    def reset_stats(self) -> None:
+        for port in self.inputs:
+            port.reset_stats()
+        for buffer in self.rx_buffers.values():
+            buffer.reset_stats()
+        self.channel.reset_stats()
+        self.reservation_channel.reset_stats()
+
+    @property
+    def occupancy(self) -> int:
+        total = sum(port.occupancy for port in self.inputs)
+        total += sum(len(b) for b in self.rx_buffers.values())
+        return total
+
+    def flits_held(self) -> int:
+        """Every flit currently inside this gateway's domain (injection
+        pipes, input VCs, the write channel's serialization queue, the
+        in-flight photonic window, RX buffers and the intra-cluster pipe).
+        Used by the flit-conservation invariant tests."""
+        total = sum(len(pipe) for pipe in self._pipe_flits)
+        total += sum(port.occupancy for port in self.inputs)
+        if self.channel.active is not None:
+            total += len(self.channel.active.pending)
+        total += len(self._inbound)
+        total += sum(len(buffer) for buffer in self.rx_buffers.values())
+        total += sum(packet.n_flits for _due, packet in self._intra)
+        return total

@@ -1,0 +1,23 @@
+"""Area model: thesis section 3.4.3, equations (5)-(24)."""
+
+from repro.area.model import (
+    MRR_RADIUS_UM,
+    DeviceCounts,
+    dhetpnoc_counts,
+    dhetpnoc_area_mm2,
+    firefly_counts,
+    firefly_area_mm2,
+    mrr_area_mm2,
+    restricted_dhetpnoc_counts,
+)
+
+__all__ = [
+    "DeviceCounts",
+    "MRR_RADIUS_UM",
+    "dhetpnoc_area_mm2",
+    "dhetpnoc_counts",
+    "firefly_area_mm2",
+    "firefly_counts",
+    "mrr_area_mm2",
+    "restricted_dhetpnoc_counts",
+]

@@ -1,0 +1,36 @@
+"""Dynamic Bandwidth Allocation (DBA) -- the paper's core contribution.
+
+Thesis section 3.2: "DBA is possible by assigning variable number of
+wavelengths to the write channels of the clusters. ... we propose a
+token-based distributed mechanism to request and acquire wavelength
+channels in each photonic router."
+
+* :mod:`repro.dba.token` -- the circulating wavelength-status token
+  (one bit per dynamically allocatable wavelength, eq. 1) and its timing
+  (eq. 2).
+* :mod:`repro.dba.tables` -- the 6 tables of each photonic router: four
+  per-core demand tables, the request table (element-wise max) and the
+  current table (allocated wavelengths per destination).
+* :mod:`repro.dba.allocator` -- capture/relinquish logic executed while a
+  router holds the token.
+* :mod:`repro.dba.controller` -- the per-router DBA controller plus the
+  chip-level token ring circulating it.
+"""
+
+from repro.dba.allocator import AllocationResult, WavelengthAllocator
+from repro.dba.controller import DBAController, TokenRing
+from repro.dba.tables import CurrentTable, DemandTable, RequestTable
+from repro.dba.token import WavelengthToken, token_link_cycles, token_size_bits
+
+__all__ = [
+    "AllocationResult",
+    "CurrentTable",
+    "DBAController",
+    "DemandTable",
+    "RequestTable",
+    "TokenRing",
+    "WavelengthAllocator",
+    "WavelengthToken",
+    "token_link_cycles",
+    "token_size_bits",
+]

@@ -1,0 +1,28 @@
+"""Energy model (thesis section 3.4.1.2, tables 3-4 and 3-5).
+
+E_packet = E_electrical + E_photonic                      (eq. 3)
+E_photonic = E_launch + E_modulation + E_tuning + E_buffer (eq. 4)
+"""
+
+from repro.energy.model import EnergyAccount, EnergyBreakdown
+from repro.energy.params import (
+    E_BUFFER_PJ_PER_BIT,
+    E_LAUNCH_PJ_PER_BIT,
+    E_MODULATION_PJ_PER_BIT,
+    E_ROUTER_PJ_PER_BIT,
+    E_TUNING_PJ_PER_BIT,
+    LASER_MW_PER_WAVELENGTH,
+    PhotonicEnergyParams,
+)
+
+__all__ = [
+    "E_BUFFER_PJ_PER_BIT",
+    "E_LAUNCH_PJ_PER_BIT",
+    "E_MODULATION_PJ_PER_BIT",
+    "E_ROUTER_PJ_PER_BIT",
+    "E_TUNING_PJ_PER_BIT",
+    "EnergyAccount",
+    "EnergyBreakdown",
+    "LASER_MW_PER_WAVELENGTH",
+    "PhotonicEnergyParams",
+]

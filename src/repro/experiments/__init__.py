@@ -1,0 +1,33 @@
+"""Experiment harness: saturation sweeps and per-figure reproduction.
+
+* :mod:`repro.experiments.runner` -- single runs, saturation sweeps and
+  peak-bandwidth extraction (thesis 3.4.1.1 methodology).
+* :mod:`repro.experiments.figures` -- one function per thesis table and
+  figure, returning structured rows.
+* :mod:`repro.experiments.report` -- ASCII rendering of results.
+* :mod:`repro.experiments.cli` -- ``dhetpnoc-repro`` command line.
+"""
+
+from repro.experiments.runner import (
+    Fidelity,
+    PAPER_FIDELITY,
+    QUICK_FIDELITY,
+    RunResult,
+    fidelity_from_env,
+    peak_of,
+    run_once,
+    saturation_sweep,
+)
+from repro.experiments.report import ascii_table
+
+__all__ = [
+    "Fidelity",
+    "PAPER_FIDELITY",
+    "QUICK_FIDELITY",
+    "RunResult",
+    "ascii_table",
+    "fidelity_from_env",
+    "peak_of",
+    "run_once",
+    "saturation_sweep",
+]

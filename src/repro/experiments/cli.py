@@ -1,0 +1,92 @@
+"""``dhetpnoc-repro``: regenerate thesis exhibits from the command line.
+
+Examples::
+
+    dhetpnoc-repro list
+    dhetpnoc-repro run figure-3-3 --fidelity quick --seed 1
+    dhetpnoc-repro run table-3-5
+    dhetpnoc-repro all --fidelity quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_EXHIBITS
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY
+
+
+def _fidelity(name: str):
+    if name == "paper":
+        return PAPER_FIDELITY
+    if name == "quick":
+        return QUICK_FIDELITY
+    raise argparse.ArgumentTypeError(f"unknown fidelity {name!r} (paper|quick)")
+
+
+def _call_exhibit(name: str, fidelity, seed: int) -> str:
+    fn = ALL_EXHIBITS[name]
+    kwargs = {}
+    signature = inspect.signature(fn)
+    if "fidelity" in signature.parameters:
+        kwargs["fidelity"] = fidelity
+    if "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    return fn(**kwargs).render()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dhetpnoc-repro",
+        description="Reproduce tables/figures of the d-HetPNoC thesis (SOCC 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available exhibits")
+
+    run = sub.add_parser("run", help="regenerate one exhibit")
+    run.add_argument("exhibit", choices=sorted(ALL_EXHIBITS))
+    run.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    run.add_argument("--seed", type=int, default=1)
+
+    everything = sub.add_parser("all", help="regenerate every exhibit")
+    everything.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    everything.add_argument("--seed", type=int, default=1)
+
+    validate = sub.add_parser(
+        "validate", help="check the thesis's headline claims against the simulator"
+    )
+    validate.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    validate.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL_EXHIBITS):
+            print(name)
+        return 0
+    if args.command == "run":
+        print(_call_exhibit(args.exhibit, args.fidelity, args.seed))
+        return 0
+    if args.command == "all":
+        for name in sorted(ALL_EXHIBITS):
+            print(_call_exhibit(name, args.fidelity, args.seed))
+            print()
+        return 0
+    if args.command == "validate":
+        from repro.experiments.validation import render_validation, validate_all
+
+        results = validate_all(args.fidelity, args.seed)
+        print(render_validation(results))
+        return 0 if all(r.passed for r in results) else 1
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

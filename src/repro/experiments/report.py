@@ -1,0 +1,64 @@
+"""ASCII rendering of experiment results (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.500
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent_change(new: float, old: float) -> float:
+    """Signed percent change from *old* to *new*; 0 when old is 0."""
+    if old == 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def bar(value: float, max_value: float, width: int = 40, char: str = "#") -> str:
+    """A proportional text bar (for example scripts)."""
+    if max_value <= 0:
+        return ""
+    n = max(0, min(width, round(value / max_value * width)))
+    return char * n

@@ -1,0 +1,208 @@
+"""Single-configuration runs and saturation sweeps.
+
+Methodology (thesis 3.4.1.1): "Peak bandwidth is measured as average
+number of bits successfully arriving at all cores per second." We sweep
+the offered load over a grid of fractions of the aggregate photonic
+capacity (``total_wavelengths * 12.5 Gb/s``) and report the maximum
+delivered bandwidth; past saturation, bounded injection queues refuse
+packets and NACK/retry cycles waste channel time, so delivered bandwidth
+plateaus. "Packet energy is the energy dissipated in transferring one
+packet completely from source to destination at network saturation": EPM
+is read at the sweep point where delivery peaked.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.base import PhotonicCrossbarNoC
+from repro.arch.config import SystemConfig
+from repro.arch.dhetpnoc import DHetPNoC
+from repro.arch.firefly import FireflyNoC
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.bandwidth_sets import BandwidthSet
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import TrafficPattern, pattern_by_name
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Simulation schedule + sweep density."""
+
+    name: str
+    total_cycles: int
+    reset_cycles: int
+    #: Offered-load grid, as fractions of the aggregate photonic capacity.
+    load_fractions: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.reset_cycles >= self.total_cycles:
+            raise ValueError("reset must be shorter than the run")
+        if not self.load_fractions:
+            raise ValueError("need at least one load point")
+
+
+#: Table 3-3 schedule with a dense sweep.
+PAPER_FIDELITY = Fidelity(
+    "paper", 10_000, 1_000, (0.10, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95, 1.10)
+)
+
+#: CI-friendly schedule; same qualitative knees.
+QUICK_FIDELITY = Fidelity("quick", 1_500, 200, (0.25, 0.60, 1.00))
+
+
+def fidelity_from_env(default: Fidelity = QUICK_FIDELITY) -> Fidelity:
+    """Pick fidelity from ``REPRO_FIDELITY`` (``paper`` or ``quick``)."""
+    value = os.environ.get("REPRO_FIDELITY", "").strip().lower()
+    if value == "paper":
+        return PAPER_FIDELITY
+    if value == "quick":
+        return QUICK_FIDELITY
+    return default
+
+
+ARCHITECTURES = ("firefly", "dhetpnoc")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measured outcome of one (architecture, pattern, load) run."""
+
+    arch: str
+    pattern: str
+    bw_set_index: int
+    offered_gbps: float
+    delivered_gbps: float
+    photonic_gbps: float
+    per_core_gbps: float
+    energy_per_message_pj: float
+    mean_latency_cycles: float
+    acceptance_ratio: float
+    packets_delivered: int
+    reservations_nacked: int
+    laser_power_mw: float
+    lit_wavelengths: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.offered_gbps <= 0:
+            return 1.0
+        return self.delivered_gbps / self.offered_gbps
+
+
+def build_arch(
+    arch_name: str,
+    sim: Simulator,
+    config: SystemConfig,
+    pattern: TrafficPattern,
+) -> PhotonicCrossbarNoC:
+    if arch_name == "firefly":
+        return FireflyNoC(sim, config)
+    if arch_name == "dhetpnoc":
+        return DHetPNoC(sim, config, pattern=pattern)
+    raise ValueError(f"unknown architecture {arch_name!r}; use one of {ARCHITECTURES}")
+
+
+def run_once(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    offered_gbps: float,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+) -> RunResult:
+    """Simulate one configuration and collect its metrics."""
+    config = config or SystemConfig(bw_set=bw_set)
+    streams = RandomStreams(seed)
+    sim = Simulator(clock_hz=config.clock_hz, seed=seed)
+    pattern = pattern_by_name(pattern_name).bind(
+        bw_set,
+        config.n_clusters,
+        config.cores_per_cluster,
+        streams.get("placement"),
+    )
+    arch = build_arch(arch_name, sim, config, pattern)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, offered_gbps, streams.get("traffic"), arch.submit, config.clock_hz
+    )
+    arch.attach_generator(generator)
+    sim.run_with_reset(fidelity.total_cycles, fidelity.reset_cycles)
+    arch.finalize()
+    metrics = arch.metrics
+    return RunResult(
+        arch=arch_name,
+        pattern=pattern_name,
+        bw_set_index=bw_set.index,
+        offered_gbps=offered_gbps,
+        delivered_gbps=metrics.delivered_gbps(config.clock_hz),
+        photonic_gbps=metrics.photonic_gbps(config.clock_hz),
+        per_core_gbps=metrics.per_core_gbps(config.clock_hz, config.n_cores),
+        energy_per_message_pj=arch.energy_per_message_pj,
+        mean_latency_cycles=metrics.latency.mean,
+        acceptance_ratio=generator.acceptance_ratio,
+        packets_delivered=metrics.packets_delivered,
+        reservations_nacked=metrics.reservations_nacked,
+        laser_power_mw=arch.laser_power_mw(),
+        lit_wavelengths=arch.lit_wavelengths(),
+    )
+
+
+def saturation_sweep(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+) -> List[RunResult]:
+    """Run the offered-load grid for one (architecture, pattern)."""
+    capacity = bw_set.aggregate_gbps
+    return [
+        run_once(
+            arch_name,
+            bw_set,
+            pattern_name,
+            offered_gbps=fraction * capacity,
+            fidelity=fidelity,
+            seed=seed,
+            config=config,
+        )
+        for fraction in fidelity.load_fractions
+    ]
+
+
+def peak_of(results: Sequence[RunResult]) -> RunResult:
+    """The sweep point with maximum delivered bandwidth (the 'peak')."""
+    if not results:
+        raise ValueError("peak_of() needs at least one result")
+    return max(results, key=lambda r: r.delivered_gbps)
+
+
+# ---------------------------------------------------------------------------
+# Cached peak studies (figures 3-3/3-4/3-7/3-10 share the same data)
+# ---------------------------------------------------------------------------
+_PEAK_CACHE: Dict[tuple, RunResult] = {}
+
+
+def peak_result(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+) -> RunResult:
+    """Cached peak extraction for one configuration."""
+    key = (arch_name, bw_set.index, pattern_name, fidelity.name, seed)
+    if key not in _PEAK_CACHE:
+        _PEAK_CACHE[key] = peak_of(
+            saturation_sweep(arch_name, bw_set, pattern_name, fidelity, seed)
+        )
+    return _PEAK_CACHE[key]
+
+
+def clear_peak_cache() -> None:
+    _PEAK_CACHE.clear()

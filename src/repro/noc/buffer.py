@@ -1,0 +1,197 @@
+"""Virtual-channel FIFO buffers.
+
+"Each incoming port and outgoing port will have multiple VC's to hold flits
+belonging to different packets" (thesis 1.4, fig. 1-3). Table 3-3 sets 16
+VCs per port with a 64-flit buffer depth per VC.
+
+Buffers track *flit-cycle occupancy* so the energy model can charge buffer
+retention (thesis 3.4.1.2: "since flits occupy the buffers for shorter
+duration, the photonic buffer energy is lesser in case of d-HetPNoC").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.noc.flit import Flit
+
+
+class BufferError(RuntimeError):
+    """Raised on buffer misuse (overflow/underflow)."""
+
+
+class VirtualChannelBuffer:
+    """A single virtual channel: a bounded FIFO of flits.
+
+    Parameters
+    ----------
+    depth:
+        Maximum number of flits held (64 in table 3-3).
+    vc_id:
+        Index of this VC within its port (for diagnostics).
+    """
+
+    __slots__ = (
+        "depth",
+        "vc_id",
+        "_fifo",
+        "_entry_cycles",
+        "total_flits_in",
+        "total_flits_out",
+        "flit_cycles",
+        "_last_accounted_cycle",
+        "route",
+        "downstream_vc",
+        "tails_contained",
+    )
+
+    def __init__(self, depth: int, vc_id: int = 0):
+        if depth <= 0:
+            raise ValueError(f"VC depth must be positive, got {depth}")
+        self.depth = int(depth)
+        self.vc_id = int(vc_id)
+        self._fifo: Deque[Flit] = deque()
+        self._entry_cycles: Deque[int] = deque()
+        self.total_flits_in = 0
+        self.total_flits_out = 0
+        #: Accumulated flit-cycles of residence (for retention energy).
+        self.flit_cycles = 0
+        self._last_accounted_cycle = 0
+        #: Tail flits currently buffered (complete-packet detection for
+        #: the gateway's store-and-forward photonic transmit).
+        self.tails_contained = 0
+        #: Output port chosen by route computation for the packet currently
+        #: occupying this VC (wormhole state; None between packets).
+        self.route: Optional[int] = None
+        #: Downstream VC granted by VC allocation (None until allocated).
+        self.downstream_vc: Optional[int] = None
+
+    # -- FIFO interface -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - len(self._fifo)
+
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    def peek(self) -> Optional[Flit]:
+        return self._fifo[0] if self._fifo else None
+
+    def push(self, flit: Flit, cycle: int = 0) -> None:
+        if self.is_full():
+            raise BufferError(
+                f"VC {self.vc_id} overflow (depth {self.depth}); "
+                "flow control must prevent this"
+            )
+        self._account(cycle)
+        self._fifo.append(flit)
+        self._entry_cycles.append(cycle)
+        self.total_flits_in += 1
+        if flit.is_tail:
+            self.tails_contained += 1
+
+    def pop(self, cycle: int = 0) -> Flit:
+        if not self._fifo:
+            raise BufferError(f"VC {self.vc_id} underflow")
+        self._account(cycle)
+        self._entry_cycles.popleft()
+        self.total_flits_out += 1
+        flit = self._fifo.popleft()
+        if flit.is_tail:
+            self.tails_contained -= 1
+            # Wormhole state tears down with the tail flit.
+            self.route = None
+            self.downstream_vc = None
+        return flit
+
+    def has_complete_packet(self) -> bool:
+        """True when the FIFO's front packet is fully buffered.
+
+        Flits of one packet enter a VC contiguously, so a head flit at the
+        front plus any buffered tail means the front packet is complete
+        (the gateway's store-and-forward criterion).
+        """
+        head = self.peek()
+        return head is not None and head.is_head and self.tails_contained > 0
+
+    def _account(self, cycle: int) -> None:
+        """Accumulate flit-cycles of residence up to *cycle*."""
+        if cycle > self._last_accounted_cycle:
+            self.flit_cycles += len(self._fifo) * (cycle - self._last_accounted_cycle)
+            self._last_accounted_cycle = cycle
+
+    def settle(self, cycle: int) -> None:
+        """Flush occupancy accounting up to *cycle* (call at end of run)."""
+        self._account(cycle)
+
+    def head_wait_cycles(self, cycle: int) -> int:
+        """Cycles the head flit has waited in this VC (0 when empty)."""
+        if not self._entry_cycles:
+            return 0
+        return max(0, cycle - self._entry_cycles[0])
+
+    def reset_stats(self) -> None:
+        self.total_flits_in = 0
+        self.total_flits_out = 0
+        self.flit_cycles = 0
+
+    def __repr__(self) -> str:
+        return f"VC(id={self.vc_id}, {len(self._fifo)}/{self.depth})"
+
+
+class PortBuffer:
+    """All virtual channels of one router port.
+
+    Provides the helpers the 3-stage router pipeline needs: finding a VC
+    with a routable head flit, credit accounting per VC, and aggregate
+    occupancy for stats.
+    """
+
+    def __init__(self, n_vcs: int, depth: int):
+        if n_vcs <= 0:
+            raise ValueError(f"n_vcs must be positive, got {n_vcs}")
+        self.vcs: List[VirtualChannelBuffer] = [
+            VirtualChannelBuffer(depth, vc_id=i) for i in range(n_vcs)
+        ]
+
+    def __getitem__(self, vc: int) -> VirtualChannelBuffer:
+        return self.vcs[vc]
+
+    def __iter__(self):
+        return iter(self.vcs)
+
+    def __len__(self) -> int:
+        return len(self.vcs)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(vc) for vc in self.vcs)
+
+    def free_vc_ids(self) -> List[int]:
+        """VCs not currently owned by a packet (empty and unrouted)."""
+        return [vc.vc_id for vc in self.vcs if vc.is_empty() and vc.route is None]
+
+    def push(self, flit: Flit, cycle: int = 0) -> None:
+        self.vcs[flit.vc].push(flit, cycle)
+
+    def can_accept(self, vc: int) -> bool:
+        return not self.vcs[vc].is_full()
+
+    def settle(self, cycle: int) -> None:
+        for vc in self.vcs:
+            vc.settle(cycle)
+
+    def reset_stats(self) -> None:
+        for vc in self.vcs:
+            vc.reset_stats()
+
+    @property
+    def flit_cycles(self) -> int:
+        return sum(vc.flit_cycles for vc in self.vcs)

@@ -1,0 +1,81 @@
+"""Conflict-checked crossbar model.
+
+The routing/crossbar stage of the 3-stage switch (thesis contribution list;
+Pande et al. [24]). The crossbar is non-blocking across distinct
+(input, output) pairs but enforces that, within a cycle, each input drives
+at most one output and each output is driven by at most one input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class CrossbarConflict(RuntimeError):
+    """Raised when two connections collide on a port within one cycle."""
+
+
+class Crossbar:
+    """An ``n_inputs`` x ``n_outputs`` crossbar with per-cycle conflict checks.
+
+    Usage per cycle: call :meth:`begin_cycle`, then :meth:`connect` for each
+    granted (input, output) pair; traversal counts accumulate for stats.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int):
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self._input_used: List[bool] = [False] * self.n_inputs
+        self._output_used: List[bool] = [False] * self.n_outputs
+        self.traversals = 0
+        self.bits_switched = 0
+
+    def begin_cycle(self) -> None:
+        self._input_used = [False] * self.n_inputs
+        self._output_used = [False] * self.n_outputs
+
+    def connect(self, input_port: int, output_port: int, bits: int = 0) -> None:
+        """Claim the (input, output) pair for this cycle."""
+        if not 0 <= input_port < self.n_inputs:
+            raise IndexError(f"input_port {input_port} out of range")
+        if not 0 <= output_port < self.n_outputs:
+            raise IndexError(f"output_port {output_port} out of range")
+        if self._input_used[input_port]:
+            raise CrossbarConflict(f"input {input_port} already connected this cycle")
+        if self._output_used[output_port]:
+            raise CrossbarConflict(f"output {output_port} already connected this cycle")
+        self._input_used[input_port] = True
+        self._output_used[output_port] = True
+        self.traversals += 1
+        self.bits_switched += bits
+
+    def is_input_free(self, input_port: int) -> bool:
+        return not self._input_used[input_port]
+
+    def is_output_free(self, output_port: int) -> bool:
+        return not self._output_used[output_port]
+
+    def reset_stats(self) -> None:
+        self.traversals = 0
+        self.bits_switched = 0
+
+
+def max_matching(requests: Dict[int, List[int]], n_outputs: int) -> List[Tuple[int, int]]:
+    """Greedy maximal matching of inputs to outputs.
+
+    *requests* maps input index -> ordered list of acceptable outputs.
+    Returns (input, output) pairs such that no port repeats. Greedy in
+    ascending input order -- adequate for tests and simple schedulers (the
+    router proper uses its arbiters instead).
+    """
+    taken_outputs = [False] * n_outputs
+    matching: List[Tuple[int, int]] = []
+    for inp in sorted(requests):
+        for out in requests[inp]:
+            if not taken_outputs[out]:
+                taken_outputs[out] = True
+                matching.append((inp, out))
+                break
+    return matching

@@ -1,0 +1,120 @@
+"""Fixed-latency links and credit-return channels.
+
+Intra-cluster links are "traditional copper interconnects in an all-to-all
+manner" (thesis 3.1); they carry one flit per cycle with a configurable
+pipeline latency. Credit channels return buffer credits upstream with the
+same delay discipline, implementing credit-based wormhole flow control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+
+class LinkBusyError(RuntimeError):
+    """Raised when more than ``width`` items enter a link in one cycle."""
+
+
+class Link:
+    """A point-to-point pipelined link.
+
+    Parameters
+    ----------
+    latency:
+        Delivery delay in cycles (>= 1).
+    width:
+        Items accepted per cycle (1 flit/cycle for electrical links).
+
+    The owner advances the link by calling :meth:`deliver` each cycle;
+    delivered items are handed to the sink callback.
+    """
+
+    def __init__(
+        self,
+        latency: int = 1,
+        width: int = 1,
+        sink: Optional[Callable[[Any], None]] = None,
+        name: str = "link",
+    ):
+        if latency < 1:
+            raise ValueError(f"link latency must be >= 1, got {latency}")
+        if width < 1:
+            raise ValueError(f"link width must be >= 1, got {width}")
+        self.latency = int(latency)
+        self.width = int(width)
+        self.sink = sink
+        self.name = name
+        self._in_flight: Deque[Tuple[int, Any]] = deque()
+        self._sent_this_cycle = 0
+        self._current_cycle = -1
+        self.items_carried = 0
+        self.bits_carried = 0
+
+    def send(self, item: Any, cycle: int, bits: int = 0) -> None:
+        """Enqueue *item* at *cycle*; it arrives at ``cycle + latency``."""
+        if cycle != self._current_cycle:
+            self._current_cycle = cycle
+            self._sent_this_cycle = 0
+        if self._sent_this_cycle >= self.width:
+            raise LinkBusyError(
+                f"link {self.name!r}: more than {self.width} sends in cycle {cycle}"
+            )
+        self._sent_this_cycle += 1
+        self._in_flight.append((cycle + self.latency, item))
+        self.items_carried += 1
+        self.bits_carried += bits
+
+    def can_send(self, cycle: int) -> bool:
+        if cycle != self._current_cycle:
+            return True
+        return self._sent_this_cycle < self.width
+
+    def deliver(self, cycle: int) -> List[Any]:
+        """Pop and return items due at *cycle* (also pushed to the sink)."""
+        out: List[Any] = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _due, item = self._in_flight.popleft()
+            out.append(item)
+            if self.sink is not None:
+                self.sink(item)
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def reset_stats(self) -> None:
+        self.items_carried = 0
+        self.bits_carried = 0
+
+
+class CreditChannel:
+    """Returns VC credits upstream after a fixed delay.
+
+    Credit-based flow control: the upstream router keeps a credit counter
+    per downstream VC; popping a flit downstream frees a slot and sends a
+    credit back.
+    """
+
+    def __init__(self, latency: int = 1, name: str = "credits"):
+        if latency < 1:
+            raise ValueError(f"credit latency must be >= 1, got {latency}")
+        self.latency = int(latency)
+        self.name = name
+        self._in_flight: Deque[Tuple[int, int]] = deque()  # (due_cycle, vc)
+
+    def send_credit(self, vc: int, cycle: int) -> None:
+        self._in_flight.append((cycle + self.latency, vc))
+
+    def deliver(self, cycle: int) -> List[int]:
+        """Return the VC ids whose credits arrive at *cycle*."""
+        out: List[int] = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _due, vc = self._in_flight.popleft()
+            out.append(vc)
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)

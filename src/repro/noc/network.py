@@ -1,0 +1,237 @@
+"""Electrical network assembly: routers + links + traffic endpoints.
+
+Builds a complete wormhole network over any :class:`~repro.noc.topology.Topology`
+-- the standalone electrical substrate used by the intra-cluster fabric
+(thesis 3.1) and by the chapter-1 topology studies in the examples.
+
+Each topology node gets a router with one port per neighbor plus a local
+port. An :class:`Endpoint` per node injects packets from a queue and
+collects ejected flits, recording latency and delivered bits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.noc.flit import Flit, Packet, packetize
+from repro.noc.link import CreditChannel, Link
+from repro.noc.router import Router, RouterConfig
+from repro.noc.routing import RoutingAlgorithm, TableRouting
+from repro.noc.topology import Topology
+from repro.sim.engine import ClockedComponent, Simulator
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate delivery metrics for an electrical network run."""
+
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    bits_delivered: int = 0
+    latency_sum: float = 0.0
+    latency_max: int = 0
+    measured_cycles: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.latency_sum / self.packets_delivered
+
+    def delivered_gbps(self, clock_hz: float) -> float:
+        if self.measured_cycles <= 0:
+            return 0.0
+        return self.bits_delivered * clock_hz / self.measured_cycles / 1e9
+
+
+class Endpoint:
+    """Per-node traffic source/sink with an unbounded injection queue."""
+
+    def __init__(self, node: int, network: "ElectricalNetwork"):
+        self.node = node
+        self.network = network
+        self.queue: Deque[Packet] = deque()
+        self._pending_flits: Deque[Flit] = deque()
+        self._active_vc: Optional[int] = None
+
+    def submit(self, packet: Packet) -> None:
+        self.queue.append(packet)
+        self.network.metrics.packets_injected += 1
+
+    def inject_step(self, cycle: int) -> None:
+        """Move one flit per cycle into the local router port if space allows."""
+        if not self._pending_flits:
+            if not self.queue:
+                return
+            self._pending_flits.extend(packetize(self.queue.popleft()))
+        flit = self._pending_flits[0]
+        router = self.network.routers[self.node]
+        local_port = self.network.local_port(self.node)
+        vc = self._choose_vc(router, local_port, flit)
+        if vc is None:
+            return
+        flit.vc = vc
+        router.accept_flit(local_port, flit, cycle)
+        self._pending_flits.popleft()
+        # Wormhole: body/tail flits of this packet must follow the head's VC.
+        self._active_vc = None if flit.is_tail else vc
+
+    def _choose_vc(self, router: Router, port: int, flit: Flit) -> Optional[int]:
+        buffers = router.inputs[port]
+        if flit.is_head:
+            free = buffers.free_vc_ids()
+            return free[0] if free else None
+        assert self._active_vc is not None, "body flit without an active packet VC"
+        return self._active_vc if buffers.can_accept(self._active_vc) else None
+
+    def eject(self, flit: Flit, cycle: int) -> None:
+        metrics = self.network.metrics
+        metrics.flits_delivered += 1
+        metrics.bits_delivered += flit.bits
+        if flit.is_tail:
+            metrics.packets_delivered += 1
+            latency = cycle - flit.packet.created_cycle
+            metrics.latency_sum += latency
+            metrics.latency_max = max(metrics.latency_max, latency)
+
+
+class ElectricalNetwork(ClockedComponent):
+    """A complete electrical NoC over a topology.
+
+    Parameters
+    ----------
+    topology:
+        Any connected :class:`Topology`.
+    router_config:
+        Router microarchitecture (defaults per table 3-3).
+    routing:
+        A routing algorithm; defaults to shortest-path tables.
+    link_latency:
+        Per-hop link latency in cycles.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router_config: RouterConfig = RouterConfig(),
+        routing: Optional[RoutingAlgorithm] = None,
+        link_latency: int = 1,
+        name: str = "enet",
+    ):
+        self.name = name
+        self.topology = topology
+        self.router_config = router_config
+        self.routing = routing or TableRouting(topology)
+        self.link_latency = link_latency
+        self.metrics = NetworkMetrics()
+
+        self.routers: Dict[int, Router] = {}
+        self.endpoints: Dict[int, Endpoint] = {}
+        self._links: List[Link] = []
+        self._local_ports: Dict[int, int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def local_port(self, node: int) -> int:
+        return self._local_ports[node]
+
+    def _build(self) -> None:
+        topo = self.topology
+        for node in topo.nodes():
+            n_ports = topo.degree(node) + 1  # + local
+            self._local_ports[node] = n_ports - 1
+            router = Router(
+                node,
+                n_ports,
+                self.router_config,
+                route_fn=self._make_route_fn(node),
+                name=f"{self.name}.r{node}",
+            )
+            self.routers[node] = router
+            self.endpoints[node] = Endpoint(node, self)
+
+        # Wire links and credit channels in both directions of every edge.
+        for node in topo.nodes():
+            router = self.routers[node]
+            for port, neighbor in enumerate(topo.neighbors(node)):
+                peer = self.routers[neighbor]
+                peer_in_port = topo.port_of(neighbor, node)
+                link = Link(
+                    latency=self.link_latency,
+                    sink=self._make_flit_sink(neighbor, peer_in_port),
+                    name=f"{self.name}.{node}->{neighbor}",
+                )
+                credits = CreditChannel(latency=self.link_latency)
+                router.connect_output_link(port, link, credits)
+                peer.connect_credit_return(peer_in_port, credits)
+                self._links.append(link)
+            local = self._local_ports[node]
+            router.connect_output_sink(local, self._make_eject_sink(node))
+
+    def _make_route_fn(self, node: int) -> Callable[[int], int]:
+        topo, routing, local = self.topology, self.routing, self._local_ports[node]
+
+        def route(dst: int) -> int:
+            if dst == node:
+                return local
+            return topo.port_of(node, routing.next_hop(node, dst))
+
+        return route
+
+    def _make_flit_sink(self, node: int, port: int) -> Callable[[Flit], None]:
+        router = self.routers[node]
+
+        def sink(flit: Flit) -> None:
+            router.accept_flit(port, flit, self._cycle)
+
+        return sink
+
+    def _make_eject_sink(self, node: int) -> Callable[[Flit], None]:
+        endpoint = self.endpoints[node]
+
+        def sink(flit: Flit) -> None:
+            endpoint.eject(flit, self._cycle)
+
+        return sink
+
+    # ------------------------------------------------------------------
+    _cycle: int = 0
+
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        for link in self._links:
+            link.deliver(cycle)
+        for node in self.topology.nodes():
+            self.endpoints[node].inject_step(cycle)
+        for node in self.topology.nodes():
+            self.routers[node].tick(cycle)
+        self.metrics.measured_cycles += 1
+
+    def submit(self, packet: Packet) -> None:
+        """Queue *packet* at its source endpoint."""
+        self.endpoints[packet.src].submit(packet)
+
+    def reset_stats(self) -> None:
+        self.metrics = NetworkMetrics()
+        for router in self.routers.values():
+            router.reset_stats()
+        for link in self._links:
+            link.reset_stats()
+
+    @property
+    def total_buffered_flits(self) -> int:
+        return sum(r.buffered_flits for r in self.routers.values())
+
+    def drain(self, sim: Simulator, max_cycles: int = 100_000) -> bool:
+        """Run until all queues and buffers empty; True if fully drained."""
+        for _ in range(max_cycles):
+            busy = self.total_buffered_flits or any(
+                ep.queue or ep._pending_flits for ep in self.endpoints.values()
+            ) or any(link.in_flight for link in self._links)
+            if not busy:
+                return True
+            sim.step()
+        return False

@@ -1,0 +1,271 @@
+"""3-stage wormhole virtual-channel router.
+
+The thesis contribution list specifies "3-stage switches namely, input,
+output arbitrations and routing" (section 1.6), the switch organisation of
+Pande et al. [24] shown in fig. 1-3. Per cycle the pipeline performs:
+
+1. **Routing** -- head flits at VC heads compute their output port and
+   allocate a free downstream virtual channel (wormhole path setup).
+2. **Input arbitration** -- each input port nominates one of its VCs whose
+   head flit is ready (routed, downstream VC held, credit available).
+3. **Output arbitration + crossbar traversal** -- each output port grants
+   one nominee; granted flits traverse the crossbar onto the output link
+   and a credit is returned upstream.
+
+Flow control is credit-based: the router tracks free buffer slots per
+downstream VC and never transmits without a credit, so buffers can never
+overflow (asserted by :class:`repro.noc.buffer.VirtualChannelBuffer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.arbiter import make_arbiter
+from repro.noc.buffer import PortBuffer
+from repro.noc.crossbar import Crossbar
+from repro.noc.flit import Flit
+from repro.noc.link import CreditChannel, Link
+from repro.sim.engine import ClockedComponent
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Microarchitecture parameters (defaults from thesis table 3-3)."""
+
+    n_vcs: int = 16
+    vc_depth: int = 64
+    arbiter: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.n_vcs <= 0:
+            raise ValueError(f"n_vcs must be positive, got {self.n_vcs}")
+        if self.vc_depth <= 0:
+            raise ValueError(f"vc_depth must be positive, got {self.vc_depth}")
+
+
+class Router(ClockedComponent):
+    """A wormhole VC router with ``n_ports`` symmetric ports.
+
+    Wiring is explicit: for each output port attach either a
+    :class:`~repro.noc.link.Link` (plus the matching upstream-facing
+    :class:`~repro.noc.link.CreditChannel` of the *downstream* router) or a
+    local sink callable for ejection. Input flits arrive through
+    :meth:`accept_flit` (the network calls it from link sinks).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n_ports: int,
+        config: RouterConfig = RouterConfig(),
+        route_fn: Optional[Callable[[int], int]] = None,
+        name: str = "",
+    ):
+        if n_ports <= 0:
+            raise ValueError(f"n_ports must be positive, got {n_ports}")
+        self.node_id = node_id
+        self.n_ports = n_ports
+        self.config = config
+        self.name = name or f"router{node_id}"
+        #: dst core/node id -> output port index.
+        self.route_fn = route_fn
+
+        self.inputs: List[PortBuffer] = [
+            PortBuffer(config.n_vcs, config.vc_depth) for _ in range(n_ports)
+        ]
+        self._input_arbiters = [make_arbiter(config.arbiter, config.n_vcs) for _ in range(n_ports)]
+        self._output_arbiters = [make_arbiter(config.arbiter, n_ports) for _ in range(n_ports)]
+        self.crossbar = Crossbar(n_ports, n_ports)
+
+        # Output-side wiring and state.
+        self._out_links: List[Optional[Link]] = [None] * n_ports
+        self._out_sinks: List[Optional[Callable[[Flit], None]]] = [None] * n_ports
+        #: credits[port][vc]: free slots believed available downstream.
+        self._credits: List[List[int]] = [[0] * config.n_vcs for _ in range(n_ports)]
+        #: output VC ownership: None = free, else owning (in_port, in_vc).
+        self._out_vc_owner: List[List[Optional[tuple]]] = [
+            [None] * config.n_vcs for _ in range(n_ports)
+        ]
+        # Credit return channels toward each *upstream* router (per input).
+        self._credit_return: List[Optional[CreditChannel]] = [None] * n_ports
+        # Credit arrival channels from each *downstream* router (per output).
+        self._credit_arrival: List[Optional[CreditChannel]] = [None] * n_ports
+
+        # Statistics.
+        self.flits_routed = 0
+        self.flits_forwarded = 0
+        self.bits_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_output_link(
+        self, port: int, link: Link, credit_arrival: CreditChannel
+    ) -> None:
+        """Attach *link* at *port*; credits for the downstream buffers
+        arrive on *credit_arrival*. Downstream capacity is assumed to be a
+        peer router with the same :class:`RouterConfig`."""
+        self._out_links[port] = link
+        self._credit_arrival[port] = credit_arrival
+        self._credits[port] = [self.config.vc_depth] * self.config.n_vcs
+
+    def connect_output_sink(self, port: int, sink: Callable[[Flit], None]) -> None:
+        """Attach a local ejection sink at *port* (infinite acceptance)."""
+        self._out_sinks[port] = sink
+        # Local ejection never blocks: model as always-credited.
+        self._credits[port] = [1 << 30] * self.config.n_vcs
+
+    def connect_credit_return(self, in_port: int, channel: CreditChannel) -> None:
+        """Attach the channel carrying this router's credits upstream."""
+        self._credit_return[in_port] = channel
+
+    # ------------------------------------------------------------------
+    # Input side
+    # ------------------------------------------------------------------
+    def accept_flit(self, port: int, flit: Flit, cycle: int) -> None:
+        """Receive *flit* on input *port* (called by the upstream link sink)."""
+        self.inputs[port].push(flit, cycle)
+
+    def can_accept(self, port: int, vc: int) -> bool:
+        return self.inputs[port].can_accept(vc)
+
+    def input_free_slots(self, port: int, vc: int) -> int:
+        return self.inputs[port][vc].free_slots
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._collect_credits(cycle)
+        self._stage_route(cycle)
+        nominations = self._stage_input_arbitration(cycle)
+        self._stage_output_arbitration(nominations, cycle)
+
+    def _collect_credits(self, cycle: int) -> None:
+        for port, channel in enumerate(self._credit_arrival):
+            if channel is None:
+                continue
+            for vc in channel.deliver(cycle):
+                self._credits[port][vc] += 1
+                if self._credits[port][vc] > self.config.vc_depth:
+                    raise RuntimeError(
+                        f"{self.name}: credit overflow on port {port} vc {vc}"
+                    )
+
+    def _stage_route(self, cycle: int) -> None:
+        """Route computation + downstream VC allocation for head flits."""
+        for in_port, port_buffer in enumerate(self.inputs):
+            for vcb in port_buffer:
+                head = vcb.peek()
+                if head is None or not head.is_head:
+                    continue
+                if vcb.route is None:
+                    if self.route_fn is None:
+                        raise RuntimeError(f"{self.name}: no routing function wired")
+                    vcb.route = self.route_fn(head.dst)
+                    self.flits_routed += 1
+                if vcb.downstream_vc is None:
+                    vcb.downstream_vc = self._allocate_output_vc(
+                        vcb.route, in_port, vcb.vc_id
+                    )
+
+    def _allocate_output_vc(self, out_port: int, in_port: int, in_vc: int) -> Optional[int]:
+        owners = self._out_vc_owner[out_port]
+        for vc, owner in enumerate(owners):
+            if owner is None:
+                owners[vc] = (in_port, in_vc)
+                return vc
+        return None
+
+    def _stage_input_arbitration(self, cycle: int) -> Dict[int, List[tuple]]:
+        """Each input port nominates one ready VC; group nominees by output."""
+        nominations: Dict[int, List[tuple]] = {}
+        for in_port, port_buffer in enumerate(self.inputs):
+            ready_vcs = [
+                vcb.vc_id
+                for vcb in port_buffer
+                if not vcb.is_empty()
+                and vcb.route is not None
+                and vcb.downstream_vc is not None
+                and self._credits[vcb.route][vcb.downstream_vc] > 0
+                and self._link_ready(vcb.route, cycle)
+            ]
+            winner_vc = self._input_arbiters[in_port].grant(ready_vcs)
+            if winner_vc is None:
+                continue
+            vcb = port_buffer[winner_vc]
+            nominations.setdefault(vcb.route, []).append((in_port, winner_vc))
+        return nominations
+
+    def _link_ready(self, out_port: int, cycle: int) -> bool:
+        link = self._out_links[out_port]
+        if link is None:
+            return self._out_sinks[out_port] is not None
+        return link.can_send(cycle)
+
+    def _stage_output_arbitration(
+        self, nominations: Dict[int, List[tuple]], cycle: int
+    ) -> None:
+        self.crossbar.begin_cycle()
+        for out_port, nominees in nominations.items():
+            by_in_port = {in_port: (in_port, vc) for in_port, vc in nominees}
+            granted = self._output_arbiters[out_port].grant(sorted(by_in_port))
+            if granted is None:
+                continue
+            in_port, in_vc = by_in_port[granted]
+            self._forward(in_port, in_vc, out_port, cycle)
+
+    def _forward(self, in_port: int, in_vc: int, out_port: int, cycle: int) -> None:
+        vcb = self.inputs[in_port][in_vc]
+        downstream_vc = vcb.downstream_vc
+        assert downstream_vc is not None
+        flit = vcb.pop(cycle)
+        self.crossbar.connect(in_port, out_port, bits=flit.bits)
+        flit.vc = downstream_vc
+        self._credits[out_port][downstream_vc] -= 1
+        self.flits_forwarded += 1
+        self.bits_forwarded += flit.bits
+
+        link = self._out_links[out_port]
+        if link is not None:
+            link.send(flit, cycle, bits=flit.bits)
+        else:
+            sink = self._out_sinks[out_port]
+            if sink is None:
+                raise RuntimeError(f"{self.name}: output port {out_port} not wired")
+            sink(flit)
+            # Local "buffer" frees instantly.
+            self._credits[out_port][downstream_vc] += 1
+
+        # Return a credit upstream for the slot we just freed.
+        credit_channel = self._credit_return[in_port]
+        if credit_channel is not None:
+            credit_channel.send_credit(in_vc, cycle)
+
+        if flit.is_tail:
+            self._out_vc_owner[out_port][downstream_vc] = None
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def buffered_flits(self) -> int:
+        return sum(pb.occupancy for pb in self.inputs)
+
+    @property
+    def buffer_flit_cycles(self) -> int:
+        return sum(pb.flit_cycles for pb in self.inputs)
+
+    def settle(self, cycle: int) -> None:
+        for pb in self.inputs:
+            pb.settle(cycle)
+
+    def reset_stats(self) -> None:
+        self.flits_routed = 0
+        self.flits_forwarded = 0
+        self.bits_forwarded = 0
+        self.crossbar.reset_stats()
+        for pb in self.inputs:
+            pb.reset_stats()

@@ -1,0 +1,226 @@
+"""Topology generators.
+
+Thesis section 1.4: "SPIN, CLICHE or Mesh, Torus, Folded Torus, Octagon and
+Butterfly Fat Tree (BFT) are some of the network architectures". The
+d-HetPNoC cluster itself is an all-to-all graph of 4 cores plus the
+photonic router (section 3.1).
+
+A :class:`Topology` is an undirected graph with a deterministic port
+numbering per node (ports are the sorted neighbor order), plus optional
+2-D coordinates for dimension-order routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+class TopologyError(ValueError):
+    """Raised for invalid topology parameters."""
+
+
+@dataclass
+class Topology:
+    """An undirected interconnection graph with port numbering.
+
+    Attributes
+    ----------
+    name:
+        Topology family name ("mesh", "all_to_all", ...).
+    graph:
+        ``networkx.Graph`` over integer node ids 0..n-1.
+    coords:
+        Optional node -> (x, y) map (set for mesh/torus families).
+    """
+
+    name: str
+    graph: nx.Graph
+    coords: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError("topology must have at least one node")
+        if not nx.is_connected(self.graph):
+            raise TopologyError(f"{self.name}: topology must be connected")
+        self._ports: Dict[int, List[int]] = {
+            node: sorted(self.graph.neighbors(node)) for node in self.graph.nodes
+        }
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def nodes(self) -> List[int]:
+        return sorted(self.graph.nodes)
+
+    def neighbors(self, node: int) -> List[int]:
+        """Neighbors of *node* in port order."""
+        return list(self._ports[node])
+
+    def degree(self, node: int) -> int:
+        return len(self._ports[node])
+
+    def port_of(self, node: int, neighbor: int) -> int:
+        """The port index on *node* that faces *neighbor*."""
+        try:
+            return self._ports[node].index(neighbor)
+        except ValueError:
+            raise TopologyError(f"{neighbor} is not adjacent to {node}") from None
+
+    def neighbor_at(self, node: int, port: int) -> int:
+        return self._ports[node][port]
+
+    def shortest_path_tables(self) -> Dict[int, Dict[int, int]]:
+        """Next-hop tables: ``table[node][dst] -> neighbor node``.
+
+        Ties broken towards the lowest-numbered next hop, so tables are
+        deterministic.
+        """
+        tables: Dict[int, Dict[int, int]] = {n: {} for n in self.graph.nodes}
+        # all_pairs_shortest_path_length is O(V*E); fine at NoC scale.
+        dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+        for node in self.graph.nodes:
+            for dst in self.graph.nodes:
+                if dst == node:
+                    continue
+                best = min(
+                    (nbr for nbr in self._ports[node] if dist[nbr][dst] == dist[node][dst] - 1),
+                )
+                tables[node][dst] = best
+        return tables
+
+    def diameter(self) -> int:
+        return nx.diameter(self.graph)
+
+    def average_hop_count(self) -> float:
+        return nx.average_shortest_path_length(self.graph)
+
+    def bisection_edges(self) -> int:
+        """Edges crossing the (node-id) median cut -- a bisection proxy."""
+        half = self.n_nodes // 2
+        left = set(self.nodes()[:half])
+        return sum(1 for u, v in self.graph.edges if (u in left) != (v in left))
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def all_to_all(n: int, name: str = "all_to_all") -> Topology:
+    """Complete graph K_n: the intra-cluster fabric of thesis section 3.1."""
+    if n < 2:
+        raise TopologyError(f"all_to_all needs >= 2 nodes, got {n}")
+    return Topology(name, nx.complete_graph(n))
+
+
+def mesh(width: int, height: int) -> Topology:
+    """The CLICHE 2-D mesh of thesis fig. 1-2."""
+    if width < 2 or height < 2:
+        raise TopologyError("mesh needs width, height >= 2")
+    graph = nx.Graph()
+    coords = {}
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            coords[node] = (x, y)
+            if x + 1 < width:
+                graph.add_edge(node, node + 1)
+            if y + 1 < height:
+                graph.add_edge(node, node + width)
+    return Topology("mesh", graph, coords)
+
+
+def torus(width: int, height: int) -> Topology:
+    if width < 3 or height < 3:
+        raise TopologyError("torus needs width, height >= 3")
+    graph = nx.Graph()
+    coords = {}
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            coords[node] = (x, y)
+            graph.add_edge(node, y * width + (x + 1) % width)
+            graph.add_edge(node, ((y + 1) % height) * width + x)
+    return Topology("torus", graph, coords)
+
+
+def folded_torus(width: int, height: int) -> Topology:
+    """Folded torus: same connectivity as a torus, link lengths equalised.
+
+    Electrically the fold changes wire lengths, not adjacency, so the graph
+    matches :func:`torus`; kept separate so link-energy models can apply
+    the 2x folded wire length factor.
+    """
+    topo = torus(width, height)
+    return Topology("folded_torus", topo.graph.copy(), dict(topo.coords))
+
+
+def octagon(n_nodes: int = 8) -> Topology:
+    """ST Octagon: a ring of 8 with cross links between opposite nodes."""
+    if n_nodes != 8:
+        raise TopologyError("the octagon topology is defined for 8 nodes")
+    graph = nx.Graph()
+    for i in range(8):
+        graph.add_edge(i, (i + 1) % 8)
+    for i in range(4):
+        graph.add_edge(i, i + 4)
+    return Topology("octagon", graph)
+
+
+def butterfly_fat_tree(n_leaves: int = 64) -> Topology:
+    """Butterfly fat tree over *n_leaves* cores (Pande et al. [24]).
+
+    Level-1 switches each serve 4 leaves; every switch above has 4 children
+    and 2 parents; the switch count halves per level. Leaves are nodes
+    ``0..n_leaves-1``; switches are numbered above the leaves.
+    """
+    if n_leaves < 4 or n_leaves & (n_leaves - 1):
+        raise TopologyError("butterfly_fat_tree needs a power-of-two leaf count >= 4")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_leaves))
+    next_id = n_leaves
+    # Level 1: one switch per 4 leaves.
+    current_level = []
+    for base in range(0, n_leaves, 4):
+        switch = next_id
+        next_id += 1
+        current_level.append(switch)
+        for leaf in range(base, base + 4):
+            graph.add_edge(switch, leaf)
+    # Higher levels: #switches halves, each child connects to 2 parents.
+    while len(current_level) > 2:
+        n_parents = max(2, len(current_level) // 2)
+        parents = list(range(next_id, next_id + n_parents))
+        next_id += n_parents
+        for idx, child in enumerate(current_level):
+            p0 = parents[idx % n_parents]
+            p1 = parents[(idx + 1) % n_parents]
+            graph.add_edge(child, p0)
+            if p1 != p0:
+                graph.add_edge(child, p1)
+        current_level = parents
+    if len(current_level) == 2:
+        graph.add_edge(current_level[0], current_level[1])
+    return Topology("butterfly_fat_tree", graph)
+
+
+def ring(n: int) -> Topology:
+    """Simple ring; used by the DBA token-circulation waveguide model."""
+    if n < 3:
+        raise TopologyError(f"ring needs >= 3 nodes, got {n}")
+    return Topology("ring", nx.cycle_graph(n))
+
+
+#: Registry used by examples and the CLI.
+topologies: Dict[str, Callable[..., Topology]] = {
+    "all_to_all": all_to_all,
+    "mesh": mesh,
+    "torus": torus,
+    "folded_torus": folded_torus,
+    "octagon": octagon,
+    "butterfly_fat_tree": butterfly_fat_tree,
+    "ring": ring,
+}

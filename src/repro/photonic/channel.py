@@ -1,0 +1,256 @@
+"""SWMR data channels and broadcast reservation channels.
+
+The crossbar fabric is "a Single Write Multiple Read (SWMR) photonic
+crossbar. Cores are grouped in clusters and each cluster will have a data
+channel consisting of multiple DWDM wavelengths to all other clusters"
+(thesis 3.1). Writes are reservation-assisted (R-SWMR, fig. 2-3): a
+broadcast reservation flit precedes the data so only the destination's
+demodulators turn on.
+
+:class:`DataChannel` is the per-cluster write channel state machine: it
+serializes flits at ``5 bits/cycle/wavelength`` (12.5 Gb/s per wavelength
+at 2.5 GHz) over however many wavelengths the current transmission was
+granted. :class:`ReservationBroadcastChannel` delivers reservation flits
+and ACK/NACK responses with waveguide propagation delays.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.noc.flit import Flit
+from repro.photonic.reservation import ReservationFlit
+from repro.photonic.wavelength import bits_per_cycle
+
+
+class ChannelError(RuntimeError):
+    """Raised on protocol misuse of a photonic channel."""
+
+
+@dataclass
+class ActiveTransmission:
+    """Book-keeping for the packet currently on the write channel."""
+
+    reservation: ReservationFlit
+    expected_flits: int
+    flit_bits: int
+    n_wavelengths: int
+    dst_cluster: int
+    started_cycle: int
+    pending: Deque[Flit]
+    fed: int = 0
+    launched: int = 0
+    bit_credit: float = 0.0
+    bits_sent: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.launched >= self.expected_flits
+
+
+class DataChannel:
+    """One cluster's SWMR write channel.
+
+    After its reservation is ACKed the owner calls :meth:`begin`, then
+    *feeds* flits from the source buffer as they become available
+    (:meth:`feed`); each :meth:`tick` returns the flits whose last bit
+    left the modulators this cycle (the caller forwards them to the
+    destination with the waveguide propagation delay). The channel
+    accumulates ``5 bits/cycle/wavelength`` of credit only while it has
+    flits to send -- light with nothing modulated onto it carries nothing.
+
+    Statistics track busy cycles and *wavelength-cycles lit* -- the
+    quantity behind Firefly's demodulator-energy penalty (section 3.3.1).
+    """
+
+    def __init__(self, owner_cluster: int, clock_hz: float = 2.5e9):
+        self.owner_cluster = owner_cluster
+        self.clock_hz = clock_hz
+        self._active: Optional[ActiveTransmission] = None
+        # Stats.
+        self.busy_cycles = 0
+        self.stalled_cycles = 0
+        self.bits_transmitted = 0
+        self.flits_transmitted = 0
+        self.packets_transmitted = 0
+        self.wavelength_cycles_lit = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._active is not None
+
+    @property
+    def active(self) -> Optional[ActiveTransmission]:
+        return self._active
+
+    def begin(
+        self,
+        reservation: ReservationFlit,
+        expected_flits: int,
+        flit_bits: int,
+        n_wavelengths: int,
+        cycle: int,
+    ) -> None:
+        if self._active is not None:
+            raise ChannelError(
+                f"channel {self.owner_cluster} already transmitting packet "
+                f"{self._active.reservation.packet_id}"
+            )
+        if n_wavelengths <= 0:
+            raise ChannelError(f"need >= 1 wavelength, got {n_wavelengths}")
+        if expected_flits <= 0:
+            raise ChannelError("expected_flits must be positive")
+        if flit_bits <= 0:
+            raise ChannelError("flit_bits must be positive")
+        self._active = ActiveTransmission(
+            reservation=reservation,
+            expected_flits=expected_flits,
+            flit_bits=flit_bits,
+            n_wavelengths=n_wavelengths,
+            dst_cluster=reservation.dst_cluster,
+            started_cycle=cycle,
+            pending=deque(),
+        )
+
+    def wanted_flits(self) -> int:
+        """How many more flits the feeder should supply right now.
+
+        Keeps roughly one cycle's worth of serialization buffered so the
+        modulators never starve while the source VC has data.
+        """
+        active = self._active
+        if active is None:
+            return 0
+        remaining = active.expected_flits - active.fed
+        if remaining <= 0:
+            return 0
+        per_cycle = bits_per_cycle(active.n_wavelengths, self.clock_hz)
+        queue_target = 1 + math.ceil(per_cycle / active.flit_bits)
+        return max(0, min(remaining, queue_target - len(active.pending)))
+
+    def feed(self, flit: Flit) -> None:
+        active = self._active
+        if active is None:
+            raise ChannelError("feed() with no active transmission")
+        if active.fed >= active.expected_flits:
+            raise ChannelError("feed() beyond expected_flits")
+        active.pending.append(flit)
+        active.fed += 1
+
+    def tick(self, cycle: int) -> List[Flit]:
+        """Advance one cycle; return flits completed this cycle."""
+        active = self._active
+        if active is None:
+            return []
+        self.busy_cycles += 1
+        self.wavelength_cycles_lit += active.n_wavelengths
+        if not active.pending:
+            # Feeder starved the channel: lit but idle.
+            self.stalled_cycles += 1
+            active.bit_credit = 0.0
+            return []
+        active.bit_credit += bits_per_cycle(active.n_wavelengths, self.clock_hz)
+        done: List[Flit] = []
+        while active.pending and active.bit_credit >= active.pending[0].bits:
+            flit = active.pending.popleft()
+            active.bit_credit -= flit.bits
+            active.bits_sent += flit.bits
+            active.launched += 1
+            self.bits_transmitted += flit.bits
+            self.flits_transmitted += 1
+            done.append(flit)
+        if active.complete:
+            self.packets_transmitted += 1
+            self._active = None
+        return done
+
+    def abort(self) -> None:
+        """Drop the active transmission (used only by failure-injection tests)."""
+        self._active = None
+
+    def reset_stats(self) -> None:
+        self.busy_cycles = 0
+        self.bits_transmitted = 0
+        self.flits_transmitted = 0
+        self.packets_transmitted = 0
+        self.wavelength_cycles_lit = 0
+
+
+class ReservationBroadcastChannel:
+    """Per-source reservation waveguide with delayed delivery.
+
+    Carries reservation flits source -> destination and ACK/NACK responses
+    destination -> source. Each cluster writes on its own dedicated
+    reservation waveguide (Firefly [20]: "a reservation request is
+    broadcast on separate channels"), so there is no inter-source
+    contention; a source can have one outstanding reservation at a time.
+    """
+
+    def __init__(
+        self,
+        owner_cluster: int,
+        propagation_cycles: int = 1,
+        demodulator_on_cycles: int = 1,
+    ):
+        if propagation_cycles < 1:
+            raise ValueError("propagation_cycles must be >= 1")
+        self.owner_cluster = owner_cluster
+        self.propagation_cycles = propagation_cycles
+        self.demodulator_on_cycles = demodulator_on_cycles
+        #: (due_cycle, reservation, deliver_cb)
+        self._outbound: Deque[Tuple[int, ReservationFlit, Callable]] = deque()
+        #: (due_cycle, reservation, accepted, deliver_cb)
+        self._responses: Deque[Tuple[int, ReservationFlit, bool, Callable]] = deque()
+        self.reservations_sent = 0
+        self.reservation_bits_sent = 0
+
+    def broadcast(
+        self,
+        reservation: ReservationFlit,
+        serialization_cycles: int,
+        cycle: int,
+        deliver: Callable[[ReservationFlit], None],
+        flit_bits: int = 0,
+    ) -> int:
+        """Send *reservation*; returns the cycle it reaches the destination.
+
+        Total latency = serialization + propagation + demodulator turn-on.
+        """
+        if serialization_cycles < 1:
+            raise ValueError("serialization_cycles must be >= 1")
+        due = cycle + serialization_cycles + self.propagation_cycles
+        self._outbound.append((due, reservation, deliver))
+        self.reservations_sent += 1
+        self.reservation_bits_sent += flit_bits
+        return due
+
+    def respond(
+        self,
+        reservation: ReservationFlit,
+        accepted: bool,
+        cycle: int,
+        deliver: Callable[[ReservationFlit, bool], None],
+    ) -> int:
+        """Destination's ACK/NACK; returns arrival cycle at the source."""
+        due = cycle + self.propagation_cycles
+        self._responses.append((due, reservation, accepted, deliver))
+        return due
+
+    def tick(self, cycle: int) -> None:
+        while self._outbound and self._outbound[0][0] <= cycle:
+            _due, reservation, deliver = self._outbound.popleft()
+            deliver(reservation)
+        while self._responses and self._responses[0][0] <= cycle:
+            _due, reservation, accepted, deliver = self._responses.popleft()
+            deliver(reservation, accepted)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outbound) + len(self._responses)
+
+    def reset_stats(self) -> None:
+        self.reservations_sent = 0
+        self.reservation_bits_sent = 0

@@ -1,0 +1,120 @@
+"""Insertion-loss and laser power-budget analysis.
+
+An extension grounded in the thesis's device survey (sections 2.1.1-2.1.5)
+and its note that non-blocking PSE fabrics hurt "optical signal integrity,
+as each PSE hop introduces additional loss and crosstalk" (2.1.3). The
+budget answers: given the 1.5 mW/wavelength laser [30], does the
+worst-case crossbar path still clear the detector sensitivity?
+
+Loss components for an SWMR crossbar path:
+
+* input/output coupler loss,
+* waveguide propagation loss over the die,
+* modulator insertion loss,
+* through-loss of every off-resonance ring the signal passes,
+* drop loss into the destination's detector ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.photonic.devices import (
+    LaserSource,
+    Modulator,
+    PhotoDetector,
+    PhotonicSwitchingElement,
+)
+from repro.photonic.waveguide import Waveguide
+
+
+@dataclass
+class PathLoss:
+    """Itemised optical loss along one source->destination path (dB)."""
+
+    coupler_db: float = 0.0
+    propagation_db: float = 0.0
+    modulator_db: float = 0.0
+    ring_through_db: float = 0.0
+    drop_db: float = 0.0
+
+    @property
+    def total_db(self) -> float:
+        return (
+            self.coupler_db
+            + self.propagation_db
+            + self.modulator_db
+            + self.ring_through_db
+            + self.drop_db
+        )
+
+    def itemised(self) -> List[tuple]:
+        return [
+            ("coupler", self.coupler_db),
+            ("propagation", self.propagation_db),
+            ("modulator", self.modulator_db),
+            ("ring_through", self.ring_through_db),
+            ("drop", self.drop_db),
+        ]
+
+
+@dataclass
+class InsertionLossBudget:
+    """Worst-case SWMR crossbar power budget.
+
+    Parameters default to the thesis's cited devices. ``rings_passed`` for
+    a crossbar read path is the number of off-resonance detector rings the
+    signal slides past before its own drop ring -- at most
+    ``(n_readers - 1) * wavelengths_per_reader`` in an SWMR waveguide.
+    """
+
+    laser: LaserSource = field(default_factory=LaserSource)
+    modulator: Modulator = field(default_factory=Modulator)
+    detector: PhotoDetector = field(default_factory=PhotoDetector)
+    pse: PhotonicSwitchingElement = field(default_factory=PhotonicSwitchingElement)
+    waveguide: Waveguide = field(default_factory=lambda: Waveguide(0))
+    margin_db: float = 3.0
+
+    def path_loss(self, rings_passed: int, distance_mm: float | None = None) -> PathLoss:
+        if rings_passed < 0:
+            raise ValueError(f"rings_passed must be >= 0, got {rings_passed}")
+        return PathLoss(
+            coupler_db=2 * self.waveguide.coupler_loss_db,
+            propagation_db=self.waveguide.propagation_loss_db(distance_mm),
+            modulator_db=self.modulator.insertion_loss_db,
+            ring_through_db=rings_passed * self.pse.through_loss_db,
+            drop_db=self.pse.drop_loss_db,
+        )
+
+    def received_power_dbm(self, rings_passed: int, distance_mm: float | None = None) -> float:
+        launch_dbm = self.laser.per_wavelength_power_dbm()
+        return launch_dbm - self.path_loss(rings_passed, distance_mm).total_db
+
+    def closes(self, rings_passed: int, distance_mm: float | None = None) -> bool:
+        """True when the link budget closes with margin."""
+        received = self.received_power_dbm(rings_passed, distance_mm)
+        return received - self.margin_db >= self.detector.sensitivity_dbm
+
+    def max_rings_passed(self, distance_mm: float | None = None) -> int:
+        """Largest ring count for which the budget still closes."""
+        low, high = 0, 1
+        if not self.closes(0, distance_mm):
+            return -1
+        while self.closes(high, distance_mm):
+            high *= 2
+            if high > 1 << 20:
+                return high  # effectively unlimited
+        while low < high - 1:
+            mid = (low + high) // 2
+            if self.closes(mid, distance_mm):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def crossbar_rings_passed(self, n_clusters: int, wavelengths_per_reader: int) -> int:
+        """Worst-case pass-by rings on an SWMR read waveguide."""
+        if n_clusters < 2:
+            raise ValueError("need >= 2 clusters")
+        return (n_clusters - 1) * wavelengths_per_reader

@@ -1,0 +1,88 @@
+"""Reservation flits and their timing (thesis sections 2.2.1 and 3.4.1.1).
+
+Firefly's R-SWMR: "Reservation channels carry the reservation flit which
+contains the source router id, destination router id and duration of
+communication." d-HetPNoC extends the flit with the wavelength
+identifiers the destination must listen on (section 3.3.1).
+
+The timing argument of 3.4.1.1 is reproduced verbatim by
+:func:`reservation_serialization_cycles`:
+
+* BW set 1: up to 8 identifiers x 6 bits = 48 bits over a 64-wavelength
+  reservation waveguide at 800 Gb/s -> 60 ps -> fits the same clock cycle
+  as the base reservation flit (no overhead).
+* BW set 3: up to 64 identifiers x 9 bits = 576 bits -> 720 ps -> one
+  extra clock cycle ("slightly additional timing overhead").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.photonic.wavelength import (
+    LAMBDA_PER_WAVEGUIDE,
+    WAVELENGTH_RATE_GBPS,
+    WavelengthId,
+    identifier_bits,
+)
+
+#: Source id + destination id + duration fields of the base flit
+#: (16 clusters -> 4 + 4 bits; duration: 8 bits). The exact base size is
+#: below one clock cycle on the reservation channel for every
+#: configuration, matching the thesis's "as in Firefly" baseline cost.
+BASE_RESERVATION_BITS = 16
+
+
+@dataclass(frozen=True)
+class ReservationFlit:
+    """A reservation broadcast from *src_cluster* establishing a path.
+
+    ``wavelength_ids`` is empty for the Firefly baseline (the whole static
+    channel is implied); d-HetPNoC lists the allocated wavelengths chosen
+    for this destination (section 3.3.1).
+    """
+
+    src_cluster: int
+    dst_cluster: int
+    packet_id: int
+    n_flits: int
+    wavelength_ids: Tuple[WavelengthId, ...] = ()
+    is_retry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src_cluster == self.dst_cluster:
+            raise ValueError("reservation src == dst")
+        if self.n_flits <= 0:
+            raise ValueError("n_flits must be positive")
+
+
+def reservation_flit_bits(n_identifiers: int, n_waveguides: int) -> int:
+    """Total reservation-flit size including piggybacked identifiers."""
+    if n_identifiers < 0:
+        raise ValueError("n_identifiers must be >= 0")
+    return BASE_RESERVATION_BITS + n_identifiers * identifier_bits(n_waveguides)
+
+
+def reservation_serialization_cycles(
+    n_identifiers: int,
+    n_waveguides: int,
+    clock_hz: float = 2.5e9,
+    reservation_wavelengths: int = LAMBDA_PER_WAVEGUIDE,
+) -> int:
+    """Clock cycles to serialize a reservation flit on its channel.
+
+    The reservation waveguide carries ``reservation_wavelengths`` DWDM
+    channels at 12.5 Gb/s each (64 x 12.5 = 800 Gb/s in the thesis's
+    arithmetic).
+
+    >>> reservation_serialization_cycles(8, 1)    # BW set 1 best case
+    1
+    >>> reservation_serialization_cycles(64, 8)   # BW set 3 worst case
+    2
+    """
+    bits = reservation_flit_bits(n_identifiers, n_waveguides)
+    rate_bps = reservation_wavelengths * WAVELENGTH_RATE_GBPS * 1e9
+    seconds = bits / rate_bps
+    return max(1, math.ceil(seconds * clock_hz))

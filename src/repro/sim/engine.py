@@ -1,0 +1,187 @@
+"""Deterministic cycle-driven simulation engine.
+
+The engine advances a global cycle counter. Each cycle it:
+
+1. fires any events scheduled for that cycle (in FIFO order of scheduling
+   for equal timestamps, so runs are deterministic), then
+2. calls :meth:`ClockedComponent.tick` on every registered component in
+   registration order.
+
+Components exchange data through explicit delay queues (see
+:class:`repro.noc.link.Link`), so the call order between *different*
+components never changes observable behaviour by more than a cycle and is
+fixed anyway by registration order.
+
+The clock frequency only matters when converting cycles to seconds for
+bandwidth/energy reporting; the thesis uses 2.5 GHz (table 3-3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+DEFAULT_CLOCK_HZ = 2.5e9
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulation configuration or invariant violations."""
+
+
+class ClockedComponent:
+    """Base class for components stepped once per simulated clock cycle.
+
+    Subclasses override :meth:`tick`. Registration with a
+    :class:`Simulator` is explicit via :meth:`Simulator.register` so the
+    update order is visible at construction time.
+    """
+
+    #: Human-readable name; used in error messages and stats prefixes.
+    name: str = "component"
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle. Override in subclasses."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        """Clear warm-up statistics. Called at the end of the reset period.
+
+        The thesis simulates 10 000 cycles with a 1 000-cycle reset period
+        (table 3-3); measurements only cover post-reset cycles. The default
+        implementation does nothing.
+        """
+
+
+class Simulator:
+    """Cycle-driven simulator with an auxiliary timed-event queue.
+
+    Parameters
+    ----------
+    clock_hz:
+        System clock frequency in Hz. Table 3-3 uses 2.5 GHz.
+    seed:
+        Master seed for the simulation's random streams.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(3, lambda: fired.append(sim.cycle))
+    >>> sim.run(5)
+    >>> fired
+    [3]
+    """
+
+    def __init__(self, clock_hz: float = DEFAULT_CLOCK_HZ, seed: int = 1):
+        if clock_hz <= 0:
+            raise SimulationError(f"clock_hz must be positive, got {clock_hz}")
+        self.clock_hz = float(clock_hz)
+        self.seed = int(seed)
+        self.cycle = 0
+        self._components: List[ClockedComponent] = []
+        self._event_heap: list = []
+        self._event_counter = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Registration and scheduling
+    # ------------------------------------------------------------------
+    def register(self, component: ClockedComponent) -> ClockedComponent:
+        """Register *component* for per-cycle stepping; returns it."""
+        if not isinstance(component, ClockedComponent):
+            raise SimulationError(
+                f"register() requires a ClockedComponent, got {type(component)!r}"
+            )
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self) -> tuple:
+        return tuple(self._components)
+
+    def schedule(self, delay_cycles: int, callback: Callable[[], None]) -> None:
+        """Run *callback* at ``cycle + delay_cycles`` before components tick."""
+        if delay_cycles < 0:
+            raise SimulationError(f"delay_cycles must be >= 0, got {delay_cycles}")
+        when = self.cycle + int(delay_cycles)
+        heapq.heappush(self._event_heap, (when, next(self._event_counter), callback))
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute cycle *cycle* (must not be in the past)."""
+        if cycle < self.cycle:
+            raise SimulationError(
+                f"cannot schedule at cycle {cycle}; current cycle is {self.cycle}"
+            )
+        heapq.heappush(self._event_heap, (int(cycle), next(self._event_counter), callback))
+
+    def pending_events(self) -> int:
+        return len(self._event_heap)
+
+    # ------------------------------------------------------------------
+    # Time conversion helpers
+    # ------------------------------------------------------------------
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.clock_hz
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance exactly one cycle."""
+        self._fire_due_events()
+        for component in self._components:
+            component.tick(self.cycle)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance *cycles* cycles."""
+        if cycles < 0:
+            raise SimulationError(f"cycles must be >= 0, got {cycles}")
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            for _ in range(cycles):
+                self.step()
+        finally:
+            self._running = False
+
+    def reset_all_stats(self) -> None:
+        """Invoke :meth:`ClockedComponent.reset_stats` on every component."""
+        for component in self._components:
+            component.reset_stats()
+
+    def run_with_reset(self, total_cycles: int, reset_cycles: int) -> None:
+        """Run with a warm-up period whose statistics are discarded.
+
+        Mirrors table 3-3: "Simulation Cycle: 10000 with 1000 reset cycle".
+        """
+        if reset_cycles > total_cycles:
+            raise SimulationError(
+                f"reset_cycles ({reset_cycles}) exceeds total_cycles ({total_cycles})"
+            )
+        self.run(reset_cycles)
+        self.reset_all_stats()
+        self.run(total_cycles - reset_cycles)
+
+    def _fire_due_events(self) -> None:
+        heap = self._event_heap
+        while heap and heap[0][0] <= self.cycle:
+            _when, _seq, callback = heapq.heappop(heap)
+            callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(cycle={self.cycle}, components={len(self._components)}, "
+            f"clock={self.clock_hz / 1e9:.2f} GHz)"
+        )
+
+
+def optional_name(obj: object, default: str) -> str:
+    """Return ``obj.name`` if present and truthy, else *default*."""
+    name: Optional[str] = getattr(obj, "name", None)
+    return name if name else default

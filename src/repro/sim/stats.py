@@ -1,0 +1,251 @@
+"""Statistics primitives for simulator metrics.
+
+All reported quantities in the reproduction -- peak bandwidth (thesis
+section 3.4.1.1), packet energy (3.4.1.2), latency, drop counts -- are
+accumulated through the small set of classes here so that warm-up reset
+(table 3-3's 1000 reset cycles) is uniform: every primitive implements
+``reset()`` and registries fan the reset out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter with warm-up reset."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"Counter.add amount must be >= 0, got {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Streaming mean/variance (Welford) without storing samples."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max")
+
+    def __init__(self, name: str = "mean"):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def __repr__(self) -> str:
+        return f"RunningMean({self.name}: n={self.count}, mean={self.mean:.4g})"
+
+
+class Histogram:
+    """Fixed-width bucket histogram for latency distributions."""
+
+    def __init__(self, name: str = "hist", bucket_width: float = 10.0, n_buckets: int = 200):
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.name = name
+        self.bucket_width = float(bucket_width)
+        self.n_buckets = int(n_buckets)
+        self._buckets: List[int] = [0] * (self.n_buckets + 1)  # last = overflow
+        self._summary = RunningMean(name + ".summary")
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"Histogram values must be >= 0, got {value}")
+        idx = int(value // self.bucket_width)
+        if idx >= self.n_buckets:
+            idx = self.n_buckets
+        self._buckets[idx] += 1
+        self._summary.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._summary.count
+
+    @property
+    def mean(self) -> float:
+        return self._summary.mean
+
+    @property
+    def max(self) -> float:
+        return self._summary.max if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile (bucket upper edge); p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = self.count * p / 100.0
+        seen = 0
+        for idx, n in enumerate(self._buckets):
+            seen += n
+            if seen >= target:
+                return (idx + 1) * self.bucket_width
+        return (self.n_buckets + 1) * self.bucket_width
+
+    def buckets(self) -> Tuple[int, ...]:
+        return tuple(self._buckets)
+
+    def reset(self) -> None:
+        self._buckets = [0] * (self.n_buckets + 1)
+        self._summary.reset()
+
+
+class BandwidthMeter:
+    """Accumulates delivered bits over measured cycles.
+
+    "Peak bandwidth is measured as average number of bits successfully
+    arriving at all cores per second" (thesis 3.4.1.1): the meter counts
+    bits and, given a measurement window in cycles and the clock frequency,
+    reports bits/second.
+    """
+
+    __slots__ = ("name", "bits", "start_cycle")
+
+    def __init__(self, name: str = "bandwidth"):
+        self.name = name
+        self.bits = 0
+        self.start_cycle = 0
+
+    def add_bits(self, bits: int) -> None:
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        self.bits += bits
+
+    def reset(self, at_cycle: int = 0) -> None:
+        self.bits = 0
+        self.start_cycle = at_cycle
+
+    def bits_per_second(self, end_cycle: int, clock_hz: float) -> float:
+        cycles = end_cycle - self.start_cycle
+        if cycles <= 0:
+            return 0.0
+        return self.bits * clock_hz / cycles
+
+    def gbps(self, end_cycle: int, clock_hz: float) -> float:
+        return self.bits_per_second(end_cycle, clock_hz) / 1e9
+
+
+class StatsRegistry:
+    """A flat registry of named statistics supporting collective reset."""
+
+    def __init__(self):
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def mean(self, name: str) -> RunningMean:
+        return self._get_or_create(name, RunningMean)
+
+    def histogram(self, name: str, bucket_width: float = 10.0, n_buckets: int = 200) -> Histogram:
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Histogram(name, bucket_width=bucket_width, n_buckets=n_buckets)
+            self._stats[name] = stat
+        elif not isinstance(stat, Histogram):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
+
+    def bandwidth(self, name: str) -> BandwidthMeter:
+        return self._get_or_create(name, BandwidthMeter)
+
+    def _get_or_create(self, name: str, cls):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = cls(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, cls):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
+
+    def get(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._stats))
+
+    def reset_all(self, at_cycle: int = 0) -> None:
+        for stat in self._stats.values():
+            if isinstance(stat, BandwidthMeter):
+                stat.reset(at_cycle)
+            else:
+                stat.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a scalar snapshot of every statistic (for reports/tests)."""
+        out: Dict[str, float] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = float(stat.value)
+            elif isinstance(stat, RunningMean):
+                out[name] = stat.mean
+            elif isinstance(stat, Histogram):
+                out[name] = stat.mean
+            elif isinstance(stat, BandwidthMeter):
+                out[name] = float(stat.bits)
+        return out
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> Optional[float]:
+    """Mean of ``(value, weight)`` pairs; ``None`` when total weight is 0."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    if weight_sum == 0:
+        return None
+    return total / weight_sum

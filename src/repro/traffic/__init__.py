@@ -1,0 +1,55 @@
+"""Traffic generation: bandwidth sets, patterns, application profiles.
+
+* :mod:`repro.traffic.bandwidth_sets` -- the three bandwidth sets of
+  table 3-1 with the packet geometry of table 3-3.
+* :mod:`repro.traffic.patterns` -- uniform-random, skewed 1-3
+  (table 3-2), skewed-hotspot 1-4 (section 3.4.2), real-application
+  traffic, and classic synthetic patterns for substrate tests.
+* :mod:`repro.traffic.apps` -- GPU application profiles (MUM, BFS, CP,
+  RAY, LPS) substituting the thesis's GPGPU-Sim measurements.
+* :mod:`repro.traffic.generator` -- Bernoulli packet injection processes.
+* :mod:`repro.traffic.trace` -- record/replay of injection traces.
+"""
+
+from repro.traffic.apps import APP_PROFILES, AppProfile, place_applications
+from repro.traffic.bandwidth_sets import (
+    BANDWIDTH_SETS,
+    BW_SET_1,
+    BW_SET_2,
+    BW_SET_3,
+    BandwidthSet,
+)
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import (
+    BitComplementTraffic,
+    HotspotSkewedTraffic,
+    RealApplicationTraffic,
+    SkewedTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    pattern_by_name,
+)
+from repro.traffic.trace import TraceRecord, TrafficTrace
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "BANDWIDTH_SETS",
+    "BW_SET_1",
+    "BW_SET_2",
+    "BW_SET_3",
+    "BandwidthSet",
+    "BitComplementTraffic",
+    "HotspotSkewedTraffic",
+    "RealApplicationTraffic",
+    "SkewedTraffic",
+    "TraceRecord",
+    "TrafficGenerator",
+    "TrafficPattern",
+    "TrafficTrace",
+    "TransposeTraffic",
+    "UniformRandomTraffic",
+    "pattern_by_name",
+    "place_applications",
+]

@@ -1,0 +1,131 @@
+"""Injection-trace record and replay.
+
+Traces make experiments repeatable across architectures: record the
+injection stream once (cycle, src, dst, class) and replay it bit-identically
+into both Firefly and d-HetPNoC, removing generator randomness from A/B
+comparisons. Traces serialise to JSON lines for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional
+
+from repro.noc.flit import Packet
+from repro.traffic.bandwidth_sets import BandwidthSet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One injected packet."""
+
+    cycle: int
+    src: int
+    dst: int
+    bw_class: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("cycle must be >= 0")
+        if self.src == self.dst:
+            raise ValueError("src == dst in trace record")
+
+
+class TrafficTrace:
+    """An ordered collection of :class:`TraceRecord`."""
+
+    def __init__(self, records: Optional[List[TraceRecord]] = None):
+        self.records: List[TraceRecord] = list(records or [])
+        self._sorted = True
+        self._check_order()
+
+    def _check_order(self) -> None:
+        for prev, cur in zip(self.records, self.records[1:]):
+            if cur.cycle < prev.cycle:
+                self._sorted = False
+                break
+
+    def append(self, record: TraceRecord) -> None:
+        if self.records and record.cycle < self.records[-1].cycle:
+            self._sorted = False
+        self.records.append(record)
+
+    def sort(self) -> None:
+        self.records.sort(key=lambda r: (r.cycle, r.src, r.dst))
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # -- record -----------------------------------------------------------
+    @classmethod
+    def recording_submit(
+        cls, trace: "TrafficTrace", inner: Callable[[Packet], bool]
+    ) -> Callable[[Packet], bool]:
+        """Wrap a submit callback so accepted packets are recorded."""
+
+        def submit(packet: Packet) -> bool:
+            accepted = inner(packet)
+            if accepted:
+                trace.append(
+                    TraceRecord(
+                        cycle=packet.created_cycle,
+                        src=packet.src,
+                        dst=packet.dst,
+                        bw_class=packet.bw_class,
+                    )
+                )
+            return accepted
+
+        return submit
+
+    # -- replay -----------------------------------------------------------
+    def replayer(
+        self, bw_set: BandwidthSet, submit: Callable[[Packet], bool]
+    ) -> Callable[[int], None]:
+        """Return a per-cycle callable replaying the trace through *submit*."""
+        if not self._sorted:
+            self.sort()
+        position = 0
+        records = self.records
+
+        def tick(cycle: int) -> None:
+            nonlocal position
+            while position < len(records) and records[position].cycle <= cycle:
+                record = records[position]
+                position += 1
+                submit(
+                    Packet(
+                        src=record.src,
+                        dst=record.dst,
+                        n_flits=bw_set.packet_flits,
+                        flit_bits=bw_set.flit_bits,
+                        created_cycle=cycle,
+                        bw_class=record.bw_class,
+                    )
+                )
+
+        return tick
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: Path | str) -> None:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(asdict(record)) + "\n")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "TrafficTrace":
+        path = Path(path)
+        records = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(TraceRecord(**json.loads(line)))
+        return cls(records)

@@ -1,0 +1,143 @@
+"""Failure-injection tests: the system degrades gracefully, never wedges."""
+
+import random
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.arch.dhetpnoc import DHetPNoC
+from repro.arch.faults import FaultError, FaultInjector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.bandwidth_sets import BW_SET_1
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import SkewedTraffic
+
+
+def build(seed=5, offered=350.0):
+    streams = RandomStreams(seed)
+    config = SystemConfig(bw_set=BW_SET_1)
+    sim = Simulator(seed=seed)
+    pattern = SkewedTraffic(3).bind(config.bw_set, 16, 4, streams.get("placement"))
+    noc = DHetPNoC(sim, config, pattern=pattern)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, offered, streams.get("traffic"), noc.submit, config.clock_hz
+    )
+    noc.attach_generator(generator)
+    return sim, noc, pattern
+
+
+class TestWavelengthDeath:
+    def test_kill_reduces_holdings(self):
+        sim, noc, pattern = build()
+        injector = FaultInjector(noc)
+        hot = max(range(16), key=lambda c: noc.controllers[c].held_count)
+        before = noc.controllers[hot].held_count
+        dead = injector.kill_wavelengths(hot, 2)
+        assert len(dead) == 2
+        assert noc.controllers[hot].held_count == before - 2
+
+    def test_dead_wavelengths_never_reallocated(self):
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        hot = max(range(16), key=lambda c: noc.controllers[c].held_count)
+        dead = set(injector.kill_wavelengths(hot, 2))
+        sim.run(500)  # many token rounds
+        for controller in noc.controllers:
+            held = set(controller.current_table.held_ids)
+            assert not held & dead
+
+    def test_traffic_still_flows_after_death(self):
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        hot = max(range(16), key=lambda c: noc.controllers[c].held_count)
+        injector.kill_wavelengths(hot, 3)
+        sim.run(2000)
+        assert noc.metrics.packets_delivered > 0
+
+    def test_dba_self_heals_with_spare_capacity(self):
+        """Killing a few wavelengths triggers re-acquisition from the
+        pool's slack on the next token rounds: DBA heals the failure."""
+        sim, noc, _ = build(seed=9, offered=480.0)
+        injector = FaultInjector(noc)
+        hot = max(range(16), key=lambda c: noc.controllers[c].held_count)
+        before = noc.controllers[hot].held_count
+        injector.kill_wavelengths(hot, 2)
+        sim.run(8 * noc.token_ring.worst_case_repossession_cycles())
+        assert noc.controllers[hot].held_count == before
+
+    def test_degradation_when_pool_exhausted(self):
+        """Killing more wavelengths than the pool's slack genuinely costs
+        delivered bandwidth."""
+        delivered = {}
+        for kill_all in (False, True):
+            sim, noc, _ = build(seed=9, offered=480.0)
+            if kill_all:
+                injector = FaultInjector(noc)
+                # Kill most dynamic wavelengths of every high-class cluster.
+                for c in range(16):
+                    dynamic = len(noc.controllers[c].current_table.dynamic_ids)
+                    if dynamic >= 5:
+                        injector.kill_wavelengths(c, dynamic - 1)
+            sim.run(2500)
+            delivered[kill_all] = noc.metrics.bits_delivered
+        assert delivered[True] < delivered[False]
+
+    def test_cannot_kill_more_than_dynamic(self):
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        cold = min(range(16), key=lambda c: noc.controllers[c].held_count)
+        dynamic = len(noc.controllers[cold].current_table.dynamic_ids)
+        with pytest.raises(FaultError):
+            injector.kill_wavelengths(cold, dynamic + 1)
+
+    def test_reserved_floor_survives(self):
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        hot = max(range(16), key=lambda c: noc.controllers[c].held_count)
+        dynamic = len(noc.controllers[hot].current_table.dynamic_ids)
+        injector.kill_wavelengths(hot, dynamic)
+        assert noc.controllers[hot].held_count >= 1
+        sim.run(1500)
+        assert noc.metrics.packets_delivered > 0
+
+
+class TestTokenFreeze:
+    def test_data_plane_survives_freeze(self):
+        """DBA is off the data path: freezing the control waveguide must
+        not stop packet delivery (thesis 3.2.1)."""
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        injector.freeze_token()
+        rounds = noc.token_ring.rounds_completed
+        sim.run(2000)
+        assert noc.token_ring.rounds_completed == rounds
+        assert noc.metrics.packets_delivered > 0
+
+    def test_thaw_resumes_circulation(self):
+        sim, noc, _ = build()
+        injector = FaultInjector(noc)
+        injector.freeze_token()
+        sim.run(100)
+        injector.thaw_token()
+        rounds = noc.token_ring.rounds_completed
+        sim.run(300)
+        assert noc.token_ring.rounds_completed > rounds
+
+
+class TestReceiverBlackout:
+    def test_blackout_causes_nacks_then_recovers(self):
+        sim, noc, _ = build(offered=480.0)
+        injector = FaultInjector(noc)
+        sim.run(300)
+        injector.blackout_receiver(0, duration_cycles=400)
+        sim.run(500)
+        assert noc.metrics.reservations_nacked > 0
+        delivered_mid = noc.metrics.packets_delivered
+        sim.run(3000)
+        assert noc.metrics.packets_delivered > delivered_mid
+
+    def test_invalid_duration(self):
+        sim, noc, _ = build()
+        with pytest.raises(FaultError):
+            FaultInjector(noc).blackout_receiver(0, 0)

@@ -1,0 +1,56 @@
+"""Tests for the Firefly baseline architecture."""
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.arch.firefly import FireflyNoC
+from repro.photonic.reservation import ReservationFlit
+from repro.sim.engine import Simulator
+from repro.traffic.bandwidth_sets import BW_SET_1, BW_SET_2, BW_SET_3
+
+
+def make(bw_set=BW_SET_1):
+    sim = Simulator(seed=1)
+    return sim, FireflyNoC(sim, SystemConfig(bw_set=bw_set))
+
+
+class TestStaticAllocation:
+    @pytest.mark.parametrize(
+        "bw_set,expected", [(BW_SET_1, 4), (BW_SET_2, 16), (BW_SET_3, 32)]
+    )
+    def test_channel_width_per_set(self, bw_set, expected):
+        """Table 3-3: '4 wavelengths per channel * 16 channels' etc."""
+        _sim, noc = make(bw_set)
+        plan = noc.tx_plan(0, 5)
+        assert plan.n_wavelengths == expected
+
+    def test_plan_is_destination_independent(self):
+        _sim, noc = make()
+        assert noc.tx_plan(0, 1) == noc.tx_plan(7, 15)
+
+    def test_no_wavelength_identifiers(self):
+        """Firefly reservations carry no identifiers -- the whole static
+        channel is implied."""
+        _sim, noc = make()
+        assert noc.tx_plan(0, 1).wavelength_ids == ()
+
+    def test_single_cycle_reservation(self):
+        _sim, noc = make(BW_SET_3)
+        assert noc.tx_plan(0, 1).reservation_cycles == 1
+
+
+class TestDemodulatorPolicy:
+    def test_full_channel_width_on(self):
+        """'all the wavelengths are turned on for all transmissions
+        irrespective of the required data rate' (thesis 3.3.1)."""
+        _sim, noc = make()
+        reservation = ReservationFlit(0, 1, 1, 64)
+        assert noc.rx_demodulators_on(reservation) == 4
+
+    def test_all_wavelengths_lit(self):
+        _sim, noc = make()
+        assert noc.lit_wavelengths() == 64
+
+    def test_laser_power_full(self):
+        _sim, noc = make()
+        assert noc.laser_power_mw() == pytest.approx(96.0)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the d-HetPNoC reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.bandwidth_sets import BW_SET_1, BW_SET_2, BW_SET_3
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(99)
+
+
+@pytest.fixture
+def config_set1() -> SystemConfig:
+    return SystemConfig(bw_set=BW_SET_1)
+
+
+@pytest.fixture
+def config_set2() -> SystemConfig:
+    return SystemConfig(bw_set=BW_SET_2)
+
+
+@pytest.fixture
+def config_set3() -> SystemConfig:
+    return SystemConfig(bw_set=BW_SET_3)
+
+
+@pytest.fixture(params=[BW_SET_1, BW_SET_2, BW_SET_3], ids=["set1", "set2", "set3"])
+def any_bw_set(request):
+    return request.param

@@ -1,0 +1,50 @@
+"""Tests for the dhetpnoc-repro command line."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "table-3-1"])
+        assert args.exhibit == "table-3-1"
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure-9-9"])
+
+    def test_fidelity_parse(self):
+        args = build_parser().parse_args(["run", "table-3-1", "--fidelity", "paper"])
+        assert args.fidelity.name == "paper"
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table-3-1", "--fidelity", "warp"])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-3-3" in out
+        assert "table-3-5" in out
+
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table-3-5"]) == 0
+        out = capsys.readouterr().out
+        assert "E_modulation" in out
+
+    def test_run_area_figure(self, capsys):
+        assert main(["run", "figure-3-6"]) == 0
+        out = capsys.readouterr().out
+        assert "1.608" in out
+
+    def test_run_gpu_figure(self, capsys):
+        assert main(["run", "figure-1-1"]) == 0
+        out = capsys.readouterr().out
+        assert "MUM" in out

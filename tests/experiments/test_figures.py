@@ -1,0 +1,127 @@
+"""Tests for the per-exhibit reproduction functions.
+
+Simulated figures run at a tiny fidelity here; the assertions target the
+*shape* claims of the thesis, not absolute values (EXPERIMENTS.md records
+the full-fidelity comparison).
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_EXHIBITS,
+    FigureResult,
+    figure_1_1,
+    figure_3_3,
+    figure_3_4,
+    figure_3_6,
+    figure_3_8,
+    figure_3_9,
+    table_3_1,
+    table_3_2,
+    table_3_3,
+    table_3_4,
+    table_3_5,
+)
+from repro.experiments.runner import Fidelity, clear_peak_cache
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+TINY = Fidelity("tiny", 900, 150, (0.5, 0.9))
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_peak_cache()
+    yield
+    clear_peak_cache()
+
+
+class TestStaticTables:
+    def test_table_3_1_rows(self):
+        result = table_3_1()
+        assert len(result.rows) == 3
+        assert result.rows[0][1] == 64
+
+    def test_table_3_2_frequencies(self):
+        result = table_3_2()
+        assert result.rows[2][1] == "90%"
+
+    def test_table_3_3_parameters(self):
+        result = table_3_3()
+        names = result.column("parameter")
+        assert "cores" in names and "VCs per port" in names
+
+    def test_table_3_4_and_3_5(self):
+        assert len(table_3_4().rows) == 3
+        assert len(table_3_5().rows) == 5
+
+    def test_render_contains_title(self):
+        out = table_3_1().render()
+        assert out.startswith("Table 3-1")
+
+
+class TestFigure11:
+    def test_shape_claims(self):
+        result = figure_1_1()
+        pcts = result.column("speedup %")
+        assert max(pcts) == pytest.approx(63, abs=3)
+        assert sum(1 for p in pcts if p < 1.0) >= len(pcts) // 2
+
+
+class TestFigure36:
+    def test_reference_areas(self):
+        result = figure_3_6()
+        row64 = next(r for r in result.rows if r[0] == 64)
+        assert row64[2] == pytest.approx(1.608, abs=0.001)
+        assert row64[3] == pytest.approx(1.367, abs=0.001)
+
+    def test_overhead_grows(self):
+        result = figure_3_6()
+        overheads = result.column("overhead %")
+        assert overheads == sorted(overheads)
+
+
+class TestSimulatedFigures:
+    """One shared tiny-fidelity dataset for the simulated exhibits."""
+
+    def test_figure_3_3_shape(self):
+        result = figure_3_3(fidelity=TINY, seed=3, bw_sets=[BW_SET_1],
+                            patterns=("uniform", "skewed3"))
+        gains = dict(zip(result.column("pattern"), result.column("gain %")))
+        assert abs(gains["uniform"]) < 5.0  # near-tie under uniform
+        assert gains["skewed3"] > 10.0      # clear win under skew
+
+    def test_figure_3_4_shape(self):
+        result = figure_3_4(fidelity=TINY, seed=3, bw_sets=[BW_SET_1],
+                            patterns=("uniform", "skewed3"))
+        changes = dict(zip(result.column("pattern"), result.column("change %")))
+        assert changes["skewed3"] < 0  # d-HetPNoC cheaper under skew
+
+    def test_figure_3_8_bandwidth_scales_with_wavelengths(self):
+        result = figure_3_8(fidelity=TINY, seed=3)
+        peaks = result.column("peak Gb/s")
+        assert peaks[-1] > 3 * peaks[0]
+        areas = result.column("area mm^2")
+        assert areas == sorted(areas)
+
+    def test_figure_3_9_epm_trend(self):
+        result = figure_3_9(fidelity=TINY, seed=3)
+        epms = result.column("EPM pJ")
+        # Thesis: packet energy decreases slightly as wavelengths scale.
+        assert epms[-1] < epms[0] * 1.2
+
+
+class TestRegistry:
+    def test_all_exhibits_present(self):
+        expected = {
+            "table-3-1", "table-3-2", "table-3-3", "table-3-4", "table-3-5",
+            "figure-1-1", "figure-3-3", "figure-3-4", "figure-3-5",
+            "figure-3-6", "figure-3-7", "figure-3-8", "figure-3-9",
+            "figure-3-10",
+        }
+        assert set(ALL_EXHIBITS) == expected
+
+    def test_figure_result_column_lookup(self):
+        result = FigureResult("X", "t", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            result.column("missing")

@@ -1,0 +1,59 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import ascii_table, bar, percent_change
+
+
+class TestAsciiTable:
+    def test_basic_render(self):
+        out = ascii_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "1" in lines[2]
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_column_alignment(self):
+        out = ascii_table(["name", "v"], [["long-name-here", 1], ["s", 22]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[1234.5]])
+        assert "1,234" in out
+        out = ascii_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out
+
+
+class TestPercentChange:
+    def test_increase(self):
+        assert percent_change(110, 100) == pytest.approx(10.0)
+
+    def test_decrease(self):
+        assert percent_change(90, 100) == pytest.approx(-10.0)
+
+    def test_zero_base(self):
+        assert percent_change(5, 0) == 0.0
+
+
+class TestBar:
+    def test_proportional(self):
+        assert len(bar(50, 100, width=10)) == 5
+
+    def test_clamped(self):
+        assert len(bar(200, 100, width=10)) == 10
+
+    def test_zero_max(self):
+        assert bar(5, 0) == ""

@@ -1,0 +1,90 @@
+"""Tests for the experiment runner and saturation sweeps."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import (
+    Fidelity,
+    PAPER_FIDELITY,
+    QUICK_FIDELITY,
+    clear_peak_cache,
+    fidelity_from_env,
+    peak_of,
+    peak_result,
+    run_once,
+    saturation_sweep,
+)
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+TINY = Fidelity("tiny", 700, 100, (0.3, 0.8))
+
+
+class TestFidelity:
+    def test_paper_matches_table_3_3(self):
+        assert PAPER_FIDELITY.total_cycles == 10_000
+        assert PAPER_FIDELITY.reset_cycles == 1_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fidelity("bad", 100, 100, (0.5,))
+        with pytest.raises(ValueError):
+            Fidelity("bad", 100, 10, ())
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "paper")
+        assert fidelity_from_env() is PAPER_FIDELITY
+        monkeypatch.setenv("REPRO_FIDELITY", "quick")
+        assert fidelity_from_env() is QUICK_FIDELITY
+        monkeypatch.delenv("REPRO_FIDELITY")
+        assert fidelity_from_env(TINY) is TINY
+
+
+class TestRunOnce:
+    def test_result_fields(self):
+        result = run_once("firefly", BW_SET_1, "uniform", 300.0, TINY, seed=5)
+        assert result.arch == "firefly"
+        assert result.pattern == "uniform"
+        assert result.bw_set_index == 1
+        assert result.delivered_gbps > 0
+        assert result.packets_delivered > 0
+        assert 0 < result.acceptance_ratio <= 1
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError):
+            run_once("tokenring", BW_SET_1, "uniform", 100.0, TINY)
+
+    def test_reproducible(self):
+        a = run_once("dhetpnoc", BW_SET_1, "skewed2", 300.0, TINY, seed=9)
+        b = run_once("dhetpnoc", BW_SET_1, "skewed2", 300.0, TINY, seed=9)
+        assert a == b
+
+    def test_delivered_fraction(self):
+        result = run_once("firefly", BW_SET_1, "uniform", 200.0, TINY, seed=5)
+        assert result.delivered_fraction == pytest.approx(
+            result.delivered_gbps / 200.0
+        )
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self):
+        results = saturation_sweep("firefly", BW_SET_1, "uniform", TINY, seed=5)
+        assert len(results) == len(TINY.load_fractions)
+        offered = [r.offered_gbps for r in results]
+        assert offered == sorted(offered)
+
+    def test_peak_of_picks_max(self):
+        results = saturation_sweep("firefly", BW_SET_1, "skewed3", TINY, seed=5)
+        peak = peak_of(results)
+        assert peak.delivered_gbps == max(r.delivered_gbps for r in results)
+
+    def test_peak_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            peak_of([])
+
+    def test_peak_cache_hits(self):
+        clear_peak_cache()
+        first = peak_result("firefly", BW_SET_1, "uniform", TINY, seed=5)
+        second = peak_result("firefly", BW_SET_1, "uniform", TINY, seed=5)
+        assert first is second
+        clear_peak_cache()

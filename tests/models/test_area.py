@@ -1,0 +1,144 @@
+"""Tests for the area model against the thesis's published numbers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.area.model import (
+    MRR_RADIUS_UM,
+    dhetpnoc_area_mm2,
+    dhetpnoc_counts,
+    firefly_area_mm2,
+    firefly_counts,
+    mrr_area_mm2,
+    n_data_waveguides,
+    restricted_dhetpnoc_counts,
+)
+
+
+class TestReferencePoints:
+    """Section 3.4.3's published values."""
+
+    def test_dhetpnoc_64_wavelengths_1_608mm2(self):
+        assert dhetpnoc_area_mm2(64) == pytest.approx(1.608, abs=0.001)
+
+    def test_firefly_64_wavelengths_1_367mm2(self):
+        assert firefly_area_mm2(64) == pytest.approx(1.367, abs=0.001)
+
+    def test_dhet_64_to_512_is_plus_70_percent(self):
+        """Figures 3-8/3-9: 'the total area increases by 70%'."""
+        growth = dhetpnoc_area_mm2(512) / dhetpnoc_area_mm2(64) - 1
+        assert growth == pytest.approx(0.70, abs=0.005)
+
+
+class TestDeviceCounts:
+    def test_dhet_counts_at_64(self):
+        counts = dhetpnoc_counts(64)
+        assert counts.data_modulators == 16 * 64 * 1          # eq. 6
+        assert counts.reservation_modulators == 16 * 64       # eq. 7
+        assert counts.control_modulators == 16 * 64           # eq. 8
+        assert counts.total_modulators == 3072                # eq. 9
+        assert counts.data_detectors == 16 * 64 * 1           # eq. 15
+        assert counts.reservation_detectors == 16 * 64 * 15   # eq. 16
+        assert counts.control_detectors == 16 * 64            # eq. 17
+        assert counts.total_detectors == 17408                # eq. 18
+
+    def test_firefly_counts_at_64(self):
+        counts = firefly_counts(64)
+        assert counts.data_modulators == 16 * 4                # eq. 11
+        assert counts.reservation_modulators == 16 * 64        # eq. 12
+        assert counts.total_modulators == 1088                 # eq. 13
+        assert counts.data_detectors == 16 * 4 * 15            # eq. 20
+        assert counts.reservation_detectors == 16 * 64 * 15    # eq. 21
+        assert counts.total_detectors == 16320                 # eq. 22
+
+    def test_data_modulators_linear_in_bandwidth(self):
+        """'there is a linear relationship between the modulators needed
+        for data communication in d-HetPNoC and the total bandwidth.'"""
+        m64 = dhetpnoc_counts(64).data_modulators
+        m512 = dhetpnoc_counts(512).data_modulators
+        assert m512 == 8 * m64
+
+    def test_firefly_has_no_control_devices(self):
+        counts = firefly_counts(64)
+        assert counts.control_modulators == 0
+        assert counts.control_detectors == 0
+
+    def test_waveguide_count(self):
+        assert n_data_waveguides(64) == 1
+        assert n_data_waveguides(65) == 2
+        assert n_data_waveguides(512) == 8
+
+
+class TestMrrArea:
+    def test_single_ring_area(self):
+        """pi * (5 um)^2, the eq. 23/24 unit."""
+        assert mrr_area_mm2(1) == pytest.approx(math.pi * 25e-6)
+
+    def test_radius_default(self):
+        assert MRR_RADIUS_UM == 5.0
+
+    def test_scales_linearly(self):
+        assert mrr_area_mm2(100) == pytest.approx(100 * mrr_area_mm2(1))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            mrr_area_mm2(-1)
+
+
+class TestOverheadBehaviour:
+    def test_dhet_always_larger_than_firefly(self):
+        for total in (64, 128, 256, 512, 1024):
+            assert dhetpnoc_area_mm2(total) > firefly_area_mm2(total)
+
+    def test_overhead_grows_with_bandwidth(self):
+        """'As the total bandwidth requirement increases ... the hardware
+        overhead' grows (thesis 3.4.3)."""
+        overheads = [
+            dhetpnoc_area_mm2(t) - firefly_area_mm2(t) for t in (64, 256, 512)
+        ]
+        assert overheads == sorted(overheads)
+
+    @given(st.integers(1, 32))
+    def test_area_monotone_in_wavelengths(self, multiplier):
+        small = dhetpnoc_area_mm2(64 * multiplier)
+        large = dhetpnoc_area_mm2(64 * (multiplier + 1))
+        assert large > small
+
+
+class TestRestrictedMitigation:
+    """The conclusion's waveguide-restriction proposal."""
+
+    def test_reduces_data_devices_at_512(self):
+        full = dhetpnoc_counts(512)
+        restricted = restricted_dhetpnoc_counts(512, waveguides_per_router=2)
+        assert restricted.data_modulators == 16 * 64 * 2
+        assert restricted.total_devices < full.total_devices
+
+    def test_noop_when_single_waveguide(self):
+        full = dhetpnoc_counts(64)
+        restricted = restricted_dhetpnoc_counts(64, waveguides_per_router=2)
+        assert restricted.total_devices == full.total_devices
+
+    def test_reservation_and_control_unchanged(self):
+        full = dhetpnoc_counts(512)
+        restricted = restricted_dhetpnoc_counts(512)
+        assert restricted.reservation_detectors == full.reservation_detectors
+        assert restricted.control_modulators == full.control_modulators
+
+    def test_invalid_restriction(self):
+        with pytest.raises(ValueError):
+            restricted_dhetpnoc_counts(64, waveguides_per_router=0)
+
+
+class TestValidation:
+    def test_small_router_counts_rejected(self):
+        with pytest.raises(ValueError):
+            dhetpnoc_counts(64, n_photonic_routers=1)
+        with pytest.raises(ValueError):
+            firefly_counts(64, n_photonic_routers=1)
+
+    def test_zero_wavelengths_rejected(self):
+        with pytest.raises(ValueError):
+            n_data_waveguides(0)

@@ -1,0 +1,96 @@
+"""Tests for links and credit channels."""
+
+import pytest
+
+from repro.noc.link import CreditChannel, Link, LinkBusyError
+
+
+class TestLink:
+    def test_delivery_after_latency(self):
+        link = Link(latency=3)
+        link.send("x", cycle=0)
+        assert link.deliver(1) == []
+        assert link.deliver(2) == []
+        assert link.deliver(3) == ["x"]
+
+    def test_width_enforced(self):
+        link = Link(latency=1, width=1)
+        link.send("a", cycle=0)
+        with pytest.raises(LinkBusyError):
+            link.send("b", cycle=0)
+
+    def test_width_resets_next_cycle(self):
+        link = Link(latency=1, width=1)
+        link.send("a", cycle=0)
+        link.send("b", cycle=1)
+        assert link.deliver(2) == ["a", "b"]
+
+    def test_wider_link(self):
+        link = Link(latency=1, width=2)
+        link.send("a", cycle=0)
+        link.send("b", cycle=0)
+        assert link.deliver(1) == ["a", "b"]
+
+    def test_can_send(self):
+        link = Link(latency=1, width=1)
+        assert link.can_send(0)
+        link.send("a", cycle=0)
+        assert not link.can_send(0)
+        assert link.can_send(1)
+
+    def test_sink_callback(self):
+        received = []
+        link = Link(latency=1, sink=received.append)
+        link.send("x", cycle=0)
+        link.deliver(1)
+        assert received == ["x"]
+
+    def test_order_preserved(self):
+        link = Link(latency=2, width=4)
+        for i in range(3):
+            link.send(i, cycle=0)
+        assert link.deliver(2) == [0, 1, 2]
+
+    def test_stats(self):
+        link = Link(latency=1)
+        link.send("a", cycle=0, bits=32)
+        assert link.items_carried == 1
+        assert link.bits_carried == 32
+        link.reset_stats()
+        assert link.items_carried == 0
+
+    def test_in_flight(self):
+        link = Link(latency=5)
+        link.send("a", cycle=0)
+        assert link.in_flight == 1
+        link.deliver(5)
+        assert link.in_flight == 0
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link(latency=0)
+
+
+class TestCreditChannel:
+    def test_delayed_credit(self):
+        ch = CreditChannel(latency=2)
+        ch.send_credit(vc=3, cycle=0)
+        assert ch.deliver(1) == []
+        assert ch.deliver(2) == [3]
+
+    def test_multiple_credits_ordered(self):
+        ch = CreditChannel(latency=1)
+        ch.send_credit(0, cycle=0)
+        ch.send_credit(1, cycle=0)
+        assert ch.deliver(1) == [0, 1]
+
+    def test_in_flight(self):
+        ch = CreditChannel(latency=1)
+        ch.send_credit(0, cycle=0)
+        assert ch.in_flight == 1
+        ch.deliver(1)
+        assert ch.in_flight == 0
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            CreditChannel(latency=0)

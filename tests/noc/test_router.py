@@ -1,0 +1,154 @@
+"""Tests for the 3-stage wormhole VC router (single-router harness)."""
+
+import pytest
+
+from repro.noc.flit import Flit, FlitType, Packet, packetize
+from repro.noc.link import CreditChannel, Link
+from repro.noc.router import Router, RouterConfig
+
+
+class Harness:
+    """One router with a local sink on port 1; injection on port 0."""
+
+    def __init__(self, n_ports=2, config=RouterConfig(n_vcs=2, vc_depth=4)):
+        self.delivered = []
+        self.router = Router(
+            node_id=0,
+            n_ports=n_ports,
+            config=config,
+            route_fn=lambda dst: 1,  # everything routes to port 1
+        )
+        self.router.connect_output_sink(1, self.delivered.append)
+        self.cycle = 0
+
+    def inject_packet(self, n_flits=3, vc=0):
+        packet = Packet(src=10, dst=20, n_flits=n_flits, flit_bits=32)
+        for flit in packetize(packet):
+            flit.vc = vc
+            self.router.accept_flit(0, flit, self.cycle)
+        return packet
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.router.tick(self.cycle)
+            self.cycle += 1
+
+
+class TestSingleRouter:
+    def test_packet_traverses_to_sink(self):
+        h = Harness()
+        packet = h.inject_packet(n_flits=3)
+        h.run(10)
+        assert len(h.delivered) == 3
+        assert all(f.packet is packet for f in h.delivered)
+
+    def test_flit_order_preserved(self):
+        h = Harness()
+        h.inject_packet(n_flits=4)
+        h.run(10)
+        assert [f.seq for f in h.delivered] == [0, 1, 2, 3]
+
+    def test_one_flit_per_cycle_per_output(self):
+        h = Harness()
+        h.inject_packet(n_flits=4)
+        h.run(1)
+        assert len(h.delivered) <= 1
+
+    def test_two_vcs_interleave_fairly(self):
+        h = Harness()
+        h.inject_packet(n_flits=4, vc=0)
+        h.inject_packet(n_flits=4, vc=1)
+        h.run(20)
+        assert len(h.delivered) == 8
+
+    def test_stats_count_forwards(self):
+        h = Harness()
+        h.inject_packet(n_flits=3)
+        h.run(10)
+        assert h.router.flits_forwarded == 3
+        assert h.router.bits_forwarded == 96
+
+    def test_reset_stats(self):
+        h = Harness()
+        h.inject_packet()
+        h.run(10)
+        h.router.reset_stats()
+        assert h.router.flits_forwarded == 0
+
+    def test_missing_route_fn_raises(self):
+        router = Router(0, 2, RouterConfig(n_vcs=1, vc_depth=4))
+        flit = packetize(Packet(src=0, dst=1, n_flits=1, flit_bits=8))[0]
+        router.accept_flit(0, flit, 0)
+        with pytest.raises(RuntimeError):
+            router.tick(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(n_vcs=0)
+        with pytest.raises(ValueError):
+            RouterConfig(vc_depth=0)
+
+
+class TestTwoRouterCreditFlow:
+    """Router A -> link -> router B -> sink, with credit return."""
+
+    def build(self, vc_depth=2):
+        config = RouterConfig(n_vcs=1, vc_depth=vc_depth)
+        delivered = []
+        b = Router(1, 2, config, route_fn=lambda dst: 1, name="B")
+        b.connect_output_sink(1, delivered.append)
+        a = Router(0, 2, config, route_fn=lambda dst: 1, name="A")
+        link = Link(latency=1, sink=lambda f: b.accept_flit(0, f, self.cycle))
+        credits = CreditChannel(latency=1)
+        a.connect_output_link(1, link, credits)
+        b.connect_credit_return(0, credits)
+        self.a, self.b, self.link, self.delivered = a, b, link, delivered
+        self.pending = []
+        self.cycle = 0
+        return a, b
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.link.deliver(self.cycle)
+            # One flit per cycle enters A if the VC has space (models the
+            # upstream link's own flow control).
+            if self.pending and self.a.can_accept(0, 0):
+                flit = self.pending.pop(0)
+                flit.vc = 0
+                self.a.accept_flit(0, flit, self.cycle)
+            self.a.tick(self.cycle)
+            self.b.tick(self.cycle)
+            self.cycle += 1
+
+    def inject(self, n_flits):
+        packet = Packet(src=0, dst=9, n_flits=n_flits, flit_bits=32)
+        self.pending.extend(packetize(packet))
+
+    def test_end_to_end_delivery(self):
+        self.build()
+        self.inject(4)
+        self.run(20)
+        assert len(self.delivered) == 4
+
+    def test_credits_prevent_overflow(self):
+        """With depth 2 and slow drain, A must throttle; B never overflows."""
+        self.build(vc_depth=2)
+        self.inject(8)
+        # Run long enough; VirtualChannelBuffer raises on overflow, so
+        # simply completing the run proves flow control works.
+        self.run(40)
+        assert len(self.delivered) == 8
+
+    def test_credit_starvation_blocks_sender(self):
+        self.build(vc_depth=2)
+        self.inject(8)
+        self.run(4)
+        # A cannot have forwarded more than depth + returned credits allow.
+        assert self.a.flits_forwarded <= 4
+
+    def test_throughput_one_flit_per_cycle(self):
+        """Steady state moves ~1 flit/cycle despite the credit loop."""
+        self.build(vc_depth=4)
+        self.inject(16)
+        self.run(60)
+        assert len(self.delivered) == 16

@@ -1,0 +1,70 @@
+"""Tests for the insertion-loss / power-budget analysis."""
+
+import pytest
+
+from repro.photonic.devices import LaserSource, PhotoDetector
+from repro.photonic.loss import InsertionLossBudget, PathLoss
+
+
+class TestPathLoss:
+    def test_total_is_sum(self):
+        loss = PathLoss(1.0, 2.0, 1.0, 0.5, 0.5)
+        assert loss.total_db == pytest.approx(5.0)
+
+    def test_itemised_covers_total(self):
+        loss = PathLoss(1.0, 2.0, 1.0, 0.5, 0.5)
+        assert sum(v for _n, v in loss.itemised()) == pytest.approx(loss.total_db)
+
+
+class TestInsertionLossBudget:
+    def test_loss_grows_with_rings_passed(self):
+        budget = InsertionLossBudget()
+        few = budget.path_loss(rings_passed=10).total_db
+        many = budget.path_loss(rings_passed=1000).total_db
+        assert many > few
+
+    def test_default_budget_closes_for_crossbar(self):
+        """The 16-cluster SWMR crossbar with 4 wavelengths/reader must
+        close with the cited devices, or the thesis system could not
+        work."""
+        budget = InsertionLossBudget()
+        rings = budget.crossbar_rings_passed(n_clusters=16, wavelengths_per_reader=4)
+        assert budget.closes(rings)
+
+    def test_budget_fails_for_absurd_ring_count(self):
+        budget = InsertionLossBudget()
+        assert not budget.closes(rings_passed=10_000)
+
+    def test_max_rings_bisection(self):
+        budget = InsertionLossBudget()
+        limit = budget.max_rings_passed()
+        assert budget.closes(limit)
+        assert not budget.closes(limit + 1)
+
+    def test_weak_laser_fails_everywhere(self):
+        budget = InsertionLossBudget(
+            laser=LaserSource(power_mw_per_wavelength=0.001)
+        )
+        if not budget.closes(0):
+            assert budget.max_rings_passed() == -1
+
+    def test_better_detector_extends_reach(self):
+        base = InsertionLossBudget()
+        better = InsertionLossBudget(
+            detector=PhotoDetector(sensitivity_dbm=-25.0)
+        )
+        assert better.max_rings_passed() > base.max_rings_passed()
+
+    def test_received_power_decreases_with_distance(self):
+        budget = InsertionLossBudget()
+        near = budget.received_power_dbm(0, distance_mm=5)
+        far = budget.received_power_dbm(0, distance_mm=40)
+        assert far < near
+
+    def test_negative_rings_rejected(self):
+        with pytest.raises(ValueError):
+            InsertionLossBudget().path_loss(-1)
+
+    def test_crossbar_rings_formula(self):
+        budget = InsertionLossBudget()
+        assert budget.crossbar_rings_passed(16, 4) == 60

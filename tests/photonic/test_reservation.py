@@ -1,0 +1,78 @@
+"""Tests for reservation flits and the section 3.4.1.1 timing claims."""
+
+import pytest
+
+from repro.photonic.reservation import (
+    BASE_RESERVATION_BITS,
+    ReservationFlit,
+    reservation_flit_bits,
+    reservation_serialization_cycles,
+)
+from repro.photonic.wavelength import WavelengthId
+
+
+class TestReservationFlit:
+    def test_basic_fields(self):
+        flit = ReservationFlit(src_cluster=0, dst_cluster=5, packet_id=1, n_flits=64)
+        assert flit.wavelength_ids == ()
+        assert not flit.is_retry
+
+    def test_self_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationFlit(src_cluster=3, dst_cluster=3, packet_id=1, n_flits=4)
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationFlit(src_cluster=0, dst_cluster=1, packet_id=1, n_flits=0)
+
+    def test_carries_identifiers(self):
+        ids = (WavelengthId(0, 1), WavelengthId(0, 2))
+        flit = ReservationFlit(0, 1, 1, 8, wavelength_ids=ids)
+        assert flit.wavelength_ids == ids
+
+
+class TestFlitBits:
+    def test_firefly_baseline_no_ids(self):
+        assert reservation_flit_bits(0, 1) == BASE_RESERVATION_BITS
+
+    def test_set1_best_case(self):
+        """8 identifiers x 6 bits (thesis: 'a waveguide number is not
+        needed' at BW set 1)."""
+        assert reservation_flit_bits(8, 1) == BASE_RESERVATION_BITS + 48
+
+    def test_set3_worst_case(self):
+        """64 identifiers x 9 bits at BW set 3."""
+        assert reservation_flit_bits(64, 8) == BASE_RESERVATION_BITS + 576
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reservation_flit_bits(-1, 1)
+
+
+class TestSerializationTiming:
+    """The exact timing arguments of section 3.4.1.1."""
+
+    def test_set1_single_cycle(self):
+        """'60ps ... can be sent in a single clock cycle (400ps) ...
+        requiring no additional timing overhead.'"""
+        assert reservation_serialization_cycles(8, 1) == 1
+
+    def test_set3_two_cycles(self):
+        """'720ps ... can be sent in a two clock cycles ... resulting in
+        slightly additional timing overhead.'"""
+        assert reservation_serialization_cycles(64, 8) == 2
+
+    def test_firefly_always_one_cycle(self):
+        for n_waveguides in (1, 4, 8):
+            assert reservation_serialization_cycles(0, n_waveguides) == 1
+
+    def test_monotone_in_identifier_count(self):
+        cycles = [
+            reservation_serialization_cycles(n, 8) for n in (0, 16, 32, 64, 128)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_slower_reservation_channel_costs_more(self):
+        fast = reservation_serialization_cycles(64, 8, reservation_wavelengths=64)
+        slow = reservation_serialization_cycles(64, 8, reservation_wavelengths=16)
+        assert slow > fast

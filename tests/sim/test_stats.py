@@ -1,0 +1,184 @@
+"""Tests for statistics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    BandwidthMeter,
+    Counter,
+    Histogram,
+    RunningMean,
+    StatsRegistry,
+    weighted_mean,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_add(self):
+        c = Counter()
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.add(10)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean().mean == 0.0
+
+    def test_mean(self):
+        m = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            m.add(v)
+        assert m.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        m = RunningMean()
+        for v in (5.0, -1.0, 3.0):
+            m.add(v)
+        assert m.min == -1.0
+        assert m.max == 5.0
+
+    def test_variance_matches_definition(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        m = RunningMean()
+        for v in values:
+            m.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert m.variance == pytest.approx(var)
+        assert m.stdev == pytest.approx(math.sqrt(var))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_mean_matches_naive(self, values):
+        m = RunningMean()
+        for v in values:
+            m.add(v)
+        assert m.mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+    def test_reset(self):
+        m = RunningMean()
+        m.add(10.0)
+        m.reset()
+        assert m.count == 0
+        assert m.mean == 0.0
+
+
+class TestHistogram:
+    def test_counts_and_mean(self):
+        h = Histogram(bucket_width=10, n_buckets=10)
+        for v in (5, 15, 25):
+            h.add(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(15.0)
+
+    def test_overflow_bucket(self):
+        h = Histogram(bucket_width=1, n_buckets=5)
+        h.add(100)
+        assert h.buckets()[-1] == 1
+
+    def test_percentile_monotone(self):
+        h = Histogram(bucket_width=1, n_buckets=100)
+        for v in range(100):
+            h.add(v)
+        assert h.percentile(50) <= h.percentile(90) <= h.percentile(99)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_reset(self):
+        h = Histogram()
+        h.add(5)
+        h.reset()
+        assert h.count == 0
+
+
+class TestBandwidthMeter:
+    def test_gbps_arithmetic(self):
+        meter = BandwidthMeter()
+        # 2048-bit packet every cycle for 1000 cycles at 2.5 GHz.
+        meter.add_bits(2048 * 1000)
+        gbps = meter.gbps(end_cycle=1000, clock_hz=2.5e9)
+        assert gbps == pytest.approx(2048 * 2.5)  # 5120 Gb/s
+
+    def test_reset_sets_window_start(self):
+        meter = BandwidthMeter()
+        meter.add_bits(999)
+        meter.reset(at_cycle=100)
+        meter.add_bits(1000)
+        assert meter.bits == 1000
+        assert meter.bits_per_second(200, 1e9) == pytest.approx(1000 * 1e7)
+
+    def test_zero_window(self):
+        meter = BandwidthMeter()
+        meter.add_bits(5)
+        assert meter.bits_per_second(0, 1e9) == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthMeter().add_bits(-1)
+
+
+class TestStatsRegistry:
+    def test_get_or_create(self):
+        reg = StatsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_rejected(self):
+        reg = StatsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.mean("x")
+
+    def test_reset_all(self):
+        reg = StatsRegistry()
+        reg.counter("c").add(5)
+        reg.mean("m").add(1.0)
+        reg.bandwidth("b").add_bits(10)
+        reg.reset_all(at_cycle=50)
+        assert reg.counter("c").value == 0
+        assert reg.mean("m").count == 0
+        assert reg.bandwidth("b").bits == 0
+        assert reg.bandwidth("b").start_cycle == 50
+
+    def test_snapshot(self):
+        reg = StatsRegistry()
+        reg.counter("c").add(2)
+        snap = reg.snapshot()
+        assert snap["c"] == 2.0
+
+    def test_contains(self):
+        reg = StatsRegistry()
+        reg.counter("x")
+        assert "x" in reg
+        assert "y" not in reg
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_weights_matter(self):
+        assert weighted_mean([(1.0, 3.0), (5.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_empty_is_none(self):
+        assert weighted_mean([]) is None

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end to end.
+
+The heavier studies get trimmed arguments; each must exit 0 and print its
+key take-away. This keeps the examples honest as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--pattern", "skewed3",
+                          "--load-gbps", "400")
+        assert "d-HetPNoC bandwidth gain" in out
+        assert "wavelength allocation" in out
+
+    def test_task_remapping(self):
+        out = run_example("task_remapping.py")
+        assert "Held wavelengths around a task remap" in out
+        assert "token" in out
+
+    def test_photonic_design_check(self):
+        out = run_example("photonic_design_check.py")
+        assert "budget closes     : True" in out
+        assert "max pass-by rings" in out
+
+    def test_area_energy_tradeoff(self):
+        out = run_example("area_energy_tradeoff.py", "--fidelity", "quick")
+        assert "1.608" in out
+        assert "Conclusion's mitigation" in out
+
+    @pytest.mark.slow
+    def test_skewed_traffic_study(self):
+        out = run_example("skewed_traffic_study.py", "--fidelity", "quick")
+        assert "Saturation peaks" in out
+
+    @pytest.mark.slow
+    def test_gpu_workload_study(self):
+        out = run_example("gpu_workload_study.py", "--fidelity", "quick")
+        assert "d-HetPNoC bandwidth gain on GPU/memory traffic" in out
+
+    @pytest.mark.slow
+    def test_electrical_vs_photonic(self):
+        out = run_example("electrical_vs_photonic.py")
+        assert "mesh" in out and "photonic" in out

@@ -1,0 +1,97 @@
+"""Tests for traffic trace record/replay."""
+
+import random
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.traffic.bandwidth_sets import BW_SET_1
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import UniformRandomTraffic
+from repro.traffic.trace import TraceRecord, TrafficTrace
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(cycle=-1, src=0, dst=1)
+        with pytest.raises(ValueError):
+            TraceRecord(cycle=0, src=3, dst=3)
+
+
+class TestTrafficTrace:
+    def test_append_and_len(self):
+        trace = TrafficTrace()
+        trace.append(TraceRecord(0, 0, 1))
+        trace.append(TraceRecord(1, 2, 3))
+        assert len(trace) == 2
+
+    def test_sort(self):
+        trace = TrafficTrace()
+        trace.append(TraceRecord(5, 0, 1))
+        trace.append(TraceRecord(1, 2, 3))
+        trace.sort()
+        assert [r.cycle for r in trace] == [1, 5]
+
+    def test_recording_wrapper_records_only_accepted(self):
+        trace = TrafficTrace()
+        accept_next = [True, False, True]
+        submit = TrafficTrace.recording_submit(
+            trace, lambda p: accept_next.pop(0)
+        )
+        for i in range(3):
+            submit(Packet(src=0, dst=1, n_flits=4, flit_bits=32, created_cycle=i))
+        assert len(trace) == 2
+
+    def test_replay_produces_identical_packets(self):
+        trace = TrafficTrace(
+            [TraceRecord(0, 0, 5, bw_class=2), TraceRecord(3, 1, 6)]
+        )
+        replayed = []
+        tick = trace.replayer(BW_SET_1, lambda p: replayed.append(p) or True)
+        for cycle in range(5):
+            tick(cycle)
+        assert len(replayed) == 2
+        assert replayed[0].src == 0 and replayed[0].dst == 5
+        assert replayed[0].bw_class == 2
+        assert replayed[0].n_flits == BW_SET_1.packet_flits
+
+    def test_replay_timing(self):
+        trace = TrafficTrace([TraceRecord(3, 0, 1)])
+        seen_cycles = []
+        tick = trace.replayer(
+            BW_SET_1, lambda p: seen_cycles.append(p.created_cycle) or True
+        )
+        for cycle in range(6):
+            tick(cycle)
+        assert seen_cycles == [3]
+
+    def test_roundtrip_persistence(self, tmp_path):
+        trace = TrafficTrace(
+            [TraceRecord(0, 0, 5, bw_class=1), TraceRecord(2, 3, 4, bw_class=None)]
+        )
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.records == trace.records
+
+    def test_end_to_end_record_replay_equivalence(self):
+        """Recording a generator then replaying gives identical streams."""
+        pattern = UniformRandomTraffic().bind(BW_SET_1, 16, 4, random.Random(1))
+        trace = TrafficTrace()
+        recorded = []
+        submit = TrafficTrace.recording_submit(
+            trace, lambda p: recorded.append((p.created_cycle, p.src, p.dst)) or True
+        )
+        gen = TrafficGenerator(pattern, 0.5, random.Random(9), submit)
+        for cycle in range(300):
+            gen.tick(cycle)
+
+        replayed = []
+        tick = trace.replayer(
+            BW_SET_1,
+            lambda p: replayed.append((p.created_cycle, p.src, p.dst)) or True,
+        )
+        for cycle in range(300):
+            tick(cycle)
+        assert replayed == recorded

@@ -1,0 +1,56 @@
+"""Benchmarks for the sweep orchestrator itself.
+
+Measures the three costs the orchestration layer adds or removes:
+
+* the parallel fan-out path (`SweepExecutor` with the session worker
+  count) over a fresh store — the number every figure bench now rides;
+* the pure cache-hit path — what a resumed sweep pays per point;
+* content-hash key derivation — the store's fixed per-point overhead.
+"""
+
+from benchmarks.conftest import bench_workers
+from repro.experiments.runner import Fidelity
+from repro.experiments.store import ResultStore, result_key
+from repro.experiments.sweep import SweepExecutor, SweepSpec
+
+#: Small but multi-axis grid: 2 archs x 2 patterns x 2 loads = 8 points.
+BENCH_FIDELITY = Fidelity("bench", 700, 100, (0.4, 0.9))
+BENCH_SPEC = SweepSpec(
+    archs=("firefly", "dhetpnoc"),
+    bw_set_indices=(1,),
+    patterns=("uniform", "skewed3"),
+    seeds=(1,),
+    fidelity=BENCH_FIDELITY,
+)
+
+
+def test_parallel_sweep_throughput(benchmark):
+    """Simulate the 8-point grid through the worker pool, cold store."""
+
+    def run_cold():
+        executor = SweepExecutor(workers=bench_workers(), store=ResultStore())
+        return executor.run(BENCH_SPEC)
+
+    results = benchmark.pedantic(run_cold, rounds=1, iterations=1)
+    assert len(results) == BENCH_SPEC.n_points()
+    assert all(r.packets_delivered > 0 for r in results)
+
+
+def test_resumed_sweep_cache_hits(benchmark):
+    """Re-running a completed sweep must execute zero simulations."""
+    executor = SweepExecutor(workers=1, store=ResultStore())
+    executor.run(BENCH_SPEC)
+
+    results = benchmark(lambda: executor.run(BENCH_SPEC))
+    assert executor.executed_count == 0
+    assert len(results) == BENCH_SPEC.n_points()
+
+
+def test_result_key_hashing(benchmark):
+    """Fixed per-point overhead of content-hash identity derivation."""
+    key = benchmark(
+        lambda: result_key(
+            "dhetpnoc", 1, "skewed3", 640.0, 7, BENCH_FIDELITY
+        )
+    )
+    assert len(key) == 64

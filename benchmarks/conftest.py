@@ -13,11 +13,13 @@ pytest's output capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.experiments.runner import fidelity_from_env
+from repro.experiments.runner import default_store, fidelity_from_env
+from repro.experiments.sweep import SweepExecutor
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -28,6 +30,25 @@ SEED = 1
 @pytest.fixture(scope="session")
 def fidelity():
     return fidelity_from_env()
+
+
+def bench_workers() -> int:
+    """Worker-pool width for sweep benches (``REPRO_WORKERS`` overrides)."""
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if value.isdigit() and int(value) >= 1:
+        return int(value)
+    return min(4, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="session")
+def executor() -> SweepExecutor:
+    """Session-wide sweep executor over the shared in-memory store.
+
+    Every figure bench runs its grid through this, so the perf numbers
+    track the parallel orchestration path and exhibits that share sweep
+    points (3-3/3-4, 3-7/3-8/3-9) pay for them once.
+    """
+    return SweepExecutor(workers=bench_workers(), store=default_store())
 
 
 @pytest.fixture(scope="session")

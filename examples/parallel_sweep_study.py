@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Parallel, resumable multi-seed sweep via the orchestration subsystem.
+
+Declares one :class:`SweepSpec` over (architecture x pattern x seed x
+load), fans it out over a worker pool, persists every simulated point to
+a JSONL store, and reports saturation peaks as mean +/- spread across
+seed replicates — the thesis's figure 3-3 comparison with error bars.
+
+Re-running with the same ``--store`` executes zero new simulations: the
+report regenerates entirely from the store.
+
+Run:  python examples/parallel_sweep_study.py \\
+          [--workers 4] [--seeds 1 2 3] [--store results/sweep.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import ascii_table, mean_spread, percent_change
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, Fidelity
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import SweepExecutor, SweepSpec, replication_summary
+
+PATTERNS = ("uniform", "skewed3")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fidelity", choices=("quick", "paper", "tiny"),
+                        default="quick")
+    parser.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--store", default=None,
+                        help="JSONL path; reuse it to resume instantly")
+    args = parser.parse_args()
+    fidelity = {
+        "paper": PAPER_FIDELITY,
+        "quick": QUICK_FIDELITY,
+        "tiny": Fidelity("tiny", 700, 100, (0.3, 0.8)),
+    }[args.fidelity]
+
+    spec = SweepSpec(
+        archs=("firefly", "dhetpnoc"),
+        bw_set_indices=(1,),
+        patterns=PATTERNS,
+        seeds=tuple(args.seeds),
+        fidelity=fidelity,
+    )
+    executor = SweepExecutor(
+        workers=args.workers,
+        store=ResultStore(args.store) if args.store else None,
+    )
+    summaries = replication_summary(spec, executor)
+    print(f"{spec.n_points()} grid points, {executor.executed_count} simulated "
+          f"({spec.n_points() - executor.executed_count} from store), "
+          f"{args.workers} workers\n")
+
+    by_key = {(s.arch, s.pattern): s for s in summaries}
+    rows = []
+    for pattern in PATTERNS:
+        ff = by_key[("firefly", pattern)]
+        dh = by_key[("dhetpnoc", pattern)]
+        rows.append([
+            pattern,
+            mean_spread(ff.delivered_gbps.mean, ff.delivered_gbps.std),
+            mean_spread(dh.delivered_gbps.mean, dh.delivered_gbps.std),
+            f"{percent_change(dh.delivered_gbps.mean, ff.delivered_gbps.mean):+.1f}%",
+            mean_spread(ff.energy_per_message_pj.mean,
+                        ff.energy_per_message_pj.std, 0),
+            mean_spread(dh.energy_per_message_pj.mean,
+                        dh.energy_per_message_pj.std, 0),
+        ])
+    print(ascii_table(
+        ["pattern", "FF peak Gb/s", "dHet peak Gb/s", "BW gain",
+         "FF EPM pJ", "dHet EPM pJ"],
+        rows,
+        title=f"Replicated saturation peaks, BW set 1 "
+              f"({fidelity.name} fidelity, {len(args.seeds)} seeds)",
+    ))
+
+    dh = by_key[("dhetpnoc", "skewed3")]
+    ff = by_key[("firefly", "skewed3")]
+    print(f"\nTake-away: across {len(args.seeds)} seeded scenarios, d-HetPNoC's "
+          f"skewed-3 peak is {percent_change(dh.delivered_gbps.mean, ff.delivered_gbps.mean):+.1f}% "
+          f"vs Firefly with a spread of only "
+          f"{dh.delivered_gbps.spread:.1f} Gb/s — the thesis's figure 3-3 "
+          f"gap is a property of the architecture, not of one lucky seed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,11 @@
 
 * :mod:`repro.experiments.runner` -- single runs, saturation sweeps and
   peak-bandwidth extraction (thesis 3.4.1.1 methodology).
+* :mod:`repro.experiments.sweep` -- declarative sweep grids
+  (:class:`SweepSpec`) fanned out over a worker pool
+  (:class:`SweepExecutor`) with multi-seed replication.
+* :mod:`repro.experiments.store` -- JSONL-backed, content-hash-keyed
+  :class:`ResultStore` making sweeps resumable across processes.
 * :mod:`repro.experiments.figures` -- one function per thesis table and
   figure, returning structured rows.
 * :mod:`repro.experiments.report` -- ASCII rendering of results.
@@ -19,15 +24,30 @@ from repro.experiments.runner import (
     saturation_sweep,
 )
 from repro.experiments.report import ascii_table
+from repro.experiments.store import ResultStore, result_key
+from repro.experiments.sweep import (
+    RunPoint,
+    SweepExecutor,
+    SweepSpec,
+    derive_seed,
+    replication_summary,
+)
 
 __all__ = [
     "Fidelity",
     "PAPER_FIDELITY",
     "QUICK_FIDELITY",
+    "ResultStore",
+    "RunPoint",
     "RunResult",
+    "SweepExecutor",
+    "SweepSpec",
     "ascii_table",
+    "derive_seed",
     "fidelity_from_env",
     "peak_of",
+    "replication_summary",
+    "result_key",
     "run_once",
     "saturation_sweep",
 ]

@@ -3,9 +3,15 @@
 Examples::
 
     dhetpnoc-repro list
-    dhetpnoc-repro run figure-3-3 --fidelity quick --seed 1
+    dhetpnoc-repro run figure-3-3 --fidelity quick --seed 1 --workers 4
     dhetpnoc-repro run table-3-5
-    dhetpnoc-repro all --fidelity quick
+    dhetpnoc-repro all --fidelity quick --workers 4 --store results/store.jsonl
+    dhetpnoc-repro sweep --arch firefly dhetpnoc --pattern uniform skewed3 \\
+        --bw-set 1 --seeds 1 2 3 --workers 4 --store results/store.jsonl
+
+``--workers`` fans the sweep grid out over a process pool; ``--store``
+persists every simulated point as JSONL so re-runs (and other exhibits
+sharing the same points) are instant cache hits.
 """
 
 from __future__ import annotations
@@ -16,7 +22,13 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.figures import ALL_EXHIBITS
-from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY
+from repro.experiments.report import ascii_table, mean_spread, percent_change
+from repro.experiments.runner import (
+    PAPER_FIDELITY,
+    QUICK_FIDELITY,
+    default_store,
+    set_default_store,
+)
 
 
 def _fidelity(name: str):
@@ -27,7 +39,18 @@ def _fidelity(name: str):
     raise argparse.ArgumentTypeError(f"unknown fidelity {name!r} (paper|quick)")
 
 
-def _call_exhibit(name: str, fidelity, seed: int) -> str:
+def _make_executor(workers: int, store_path: Optional[str]):
+    """Build the session executor; ``--store`` also becomes the default
+    store so legacy ``peak_result`` paths persist their points too."""
+    from repro.experiments.store import ResultStore
+    from repro.experiments.sweep import SweepExecutor
+
+    if store_path:
+        set_default_store(ResultStore(store_path))
+    return SweepExecutor(workers=workers, store=default_store())
+
+
+def _call_exhibit(name: str, fidelity, seed: int, executor=None) -> str:
     fn = ALL_EXHIBITS[name]
     kwargs = {}
     signature = inspect.signature(fn)
@@ -35,7 +58,30 @@ def _call_exhibit(name: str, fidelity, seed: int) -> str:
         kwargs["fidelity"] = fidelity
     if "seed" in signature.parameters:
         kwargs["seed"] = seed
+    if executor is not None and "executor" in signature.parameters:
+        kwargs["executor"] = executor
     return fn(**kwargs).render()
+
+
+def _workers(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError("need at least one worker")
+    return n
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers, default=1,
+        help="simulation worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSONL result store; makes runs resumable across invocations",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,18 +97,114 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("exhibit", choices=sorted(ALL_EXHIBITS))
     run.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
     run.add_argument("--seed", type=int, default=1)
+    _add_parallel_options(run)
 
     everything = sub.add_parser("all", help="regenerate every exhibit")
     everything.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
     everything.add_argument("--seed", type=int, default=1)
+    _add_parallel_options(everything)
 
     validate = sub.add_parser(
         "validate", help="check the thesis's headline claims against the simulator"
     )
     validate.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
     validate.add_argument("--seed", type=int, default=1)
+    _add_parallel_options(validate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a custom saturation sweep grid (multi-seed replication "
+        "reports mean +/- std across seeds)",
+    )
+    sweep.add_argument(
+        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
+        choices=["firefly", "dhetpnoc"],
+    )
+    sweep.add_argument("--bw-set", nargs="+", type=int, default=[1],
+                       choices=[1, 2, 3])
+    sweep.add_argument("--pattern", nargs="+", default=["uniform"])
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    sweep.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    sweep.add_argument(
+        "--fixed-seeds", action="store_true",
+        help="use base seeds verbatim instead of per-curve derived seeds",
+    )
+    _add_parallel_options(sweep)
 
     return parser
+
+
+def _run_sweep(args) -> int:
+    from repro.experiments.sweep import SweepSpec, replication_summary
+    from repro.traffic.patterns import pattern_by_name
+
+    for name in args.pattern:
+        try:
+            pattern_by_name(name)
+        except ValueError as exc:  # PatternError or malformed skew level
+            print(
+                f"dhetpnoc-repro sweep: error: invalid pattern {name!r} ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+
+    executor = _make_executor(args.workers, args.store)
+    try:
+        spec = SweepSpec(
+            archs=tuple(args.arch),
+            bw_set_indices=tuple(args.bw_set),
+            patterns=tuple(args.pattern),
+            seeds=tuple(args.seeds),
+            fidelity=args.fidelity,
+            derive_seeds=not args.fixed_seeds,
+        )
+    except ValueError as exc:  # e.g. duplicate axis values
+        print(f"dhetpnoc-repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    summaries = replication_summary(spec, executor)
+    rows = []
+    for s in summaries:
+        rows.append(
+            [
+                s.arch,
+                f"set{s.bw_set_index}",
+                s.pattern,
+                mean_spread(s.delivered_gbps.mean, s.delivered_gbps.std),
+                mean_spread(
+                    s.energy_per_message_pj.mean, s.energy_per_message_pj.std, 0
+                ),
+                mean_spread(
+                    s.mean_latency_cycles.mean, s.mean_latency_cycles.std
+                ),
+                len(s.seeds),
+            ]
+        )
+    title = (
+        f"Saturation peaks ({args.fidelity.name} fidelity, "
+        f"{spec.n_points()} points, {executor.executed_count} simulated)"
+    )
+    print(
+        ascii_table(
+            ["arch", "bw set", "pattern", "peak Gb/s", "EPM pJ",
+             "latency cyc", "seeds"],
+            rows,
+            title=title,
+        )
+    )
+    by_key = {(s.arch, s.bw_set_index, s.pattern): s for s in summaries}
+    if "firefly" in args.arch and "dhetpnoc" in args.arch:
+        for bw_index in args.bw_set:
+            for pattern in args.pattern:
+                ff = by_key[("firefly", bw_index, pattern)]
+                dh = by_key[("dhetpnoc", bw_index, pattern)]
+                gain = percent_change(
+                    dh.delivered_gbps.mean, ff.delivered_gbps.mean
+                )
+                print(
+                    f"note: set{bw_index}/{pattern}: d-HetPNoC peak gain "
+                    f"{gain:+.2f}% over Firefly"
+                )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -72,19 +214,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        print(_call_exhibit(args.exhibit, args.fidelity, args.seed))
+        executor = _make_executor(args.workers, args.store)
+        print(_call_exhibit(args.exhibit, args.fidelity, args.seed, executor))
         return 0
     if args.command == "all":
+        executor = _make_executor(args.workers, args.store)
         for name in sorted(ALL_EXHIBITS):
-            print(_call_exhibit(name, args.fidelity, args.seed))
+            print(_call_exhibit(name, args.fidelity, args.seed, executor))
             print()
         return 0
     if args.command == "validate":
         from repro.experiments.validation import render_validation, validate_all
 
-        results = validate_all(args.fidelity, args.seed)
+        executor = _make_executor(args.workers, args.store)
+        results = validate_all(args.fidelity, args.seed, executor=executor)
         print(render_validation(results))
         return 0 if all(r.passed for r in results) else 1
+    if args.command == "sweep":
+        return _run_sweep(args)
     return 1
 
 

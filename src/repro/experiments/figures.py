@@ -3,9 +3,12 @@
 Each ``figure_*`` / ``table_*`` function returns a :class:`FigureResult`
 whose rows regenerate the corresponding thesis exhibit; ``render()``
 produces the ASCII form the benchmarks print. The simulated figures share
-the cached peak study in :mod:`repro.experiments.runner`, so e.g.
-figures 3-3, 3-4, 3-7 and 3-10 together cost one sweep per
-(architecture, bandwidth set, pattern).
+the content-hash result store behind :mod:`repro.experiments.runner`, so
+e.g. figures 3-3, 3-4, 3-7 and 3-10 together cost one sweep per
+(architecture, bandwidth set, pattern). Passing a
+:class:`~repro.experiments.sweep.SweepExecutor` prefetches each
+exhibit's whole grid through its worker pool first (``--workers`` on the
+CLI), parallelising the simulations the exhibit needs.
 """
 
 from __future__ import annotations
@@ -25,14 +28,16 @@ from repro.experiments.runner import (
     Fidelity,
     QUICK_FIDELITY,
     RunResult,
+    peak_of,
     peak_result,
 )
+from repro.experiments.sweep import SweepExecutor, SweepSpec
 from repro.gpu.model import GpuMemoryModel
 from repro.traffic.bandwidth_sets import (
     BANDWIDTH_SETS,
     BW_SET_1,
     BandwidthSet,
-    bandwidth_set_by_index,
+    is_canonical_set,
 )
 from repro.traffic.patterns import SKEW_FREQUENCIES
 
@@ -176,11 +181,69 @@ def figure_1_1() -> FigureResult:
 # Figures 3-3 / 3-4: peak bandwidth and packet energy, both architectures
 # ---------------------------------------------------------------------------
 
+def _is_canonical(bw_set: BandwidthSet) -> bool:
+    """The executor fast-path addresses sets by index; a customised set
+    must not be rehydrated from its index, so it takes the serial path
+    (which pins the set on its points) instead."""
+    return is_canonical_set(bw_set)
+
+
+def _prefetch(
+    executor: Optional[SweepExecutor],
+    archs: Sequence[str],
+    bw_sets: Sequence[BandwidthSet],
+    patterns: Sequence[str],
+    fidelity: Fidelity,
+    seed: int,
+) -> None:
+    """Fan every needed sweep point out through *executor* in one batch.
+
+    Populates the executor's store so the per-curve peak extraction that
+    follows is pure cache hits; with ``workers > 1`` the whole exhibit's
+    grid simulates in parallel instead of curve-by-curve. Customised
+    bandwidth sets are excluded (see :func:`_is_canonical`).
+    """
+    if executor is None:
+        return
+    indices = tuple(s.index for s in bw_sets if _is_canonical(s))
+    if not indices:
+        return
+    executor.run(
+        SweepSpec(
+            archs=tuple(archs),
+            bw_set_indices=indices,
+            patterns=tuple(patterns),
+            seeds=(seed,),
+            fidelity=fidelity,
+            derive_seeds=False,
+        )
+    )
+
+
+def _peak(
+    arch: str,
+    bw_set: BandwidthSet,
+    pattern: str,
+    fidelity: Fidelity,
+    seed: int,
+    executor: Optional[SweepExecutor] = None,
+) -> RunResult:
+    if executor is None or not _is_canonical(bw_set):
+        return peak_result(arch, bw_set, pattern, fidelity, seed)
+    return peak_of(
+        executor.sweep_curve(arch, bw_set.index, pattern, fidelity, seed)
+    )
+
+
 def _peak_pair(
-    bw_set: BandwidthSet, pattern: str, fidelity: Fidelity, seed: int
+    bw_set: BandwidthSet,
+    pattern: str,
+    fidelity: Fidelity,
+    seed: int,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[RunResult, RunResult]:
-    firefly = peak_result("firefly", bw_set, pattern, fidelity, seed)
-    dhet = peak_result("dhetpnoc", bw_set, pattern, fidelity, seed)
+    firefly = _peak("firefly", bw_set, pattern, fidelity, seed, executor)
+    dhet = _peak("dhetpnoc", bw_set, pattern, fidelity, seed, executor)
     return firefly, dhet
 
 
@@ -189,11 +252,13 @@ def figure_3_3(
     seed: int = 1,
     bw_sets: Sequence[BandwidthSet] = BANDWIDTH_SETS,
     patterns: Sequence[str] = CORE_PATTERNS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
+    _prefetch(executor, ("firefly", "dhetpnoc"), bw_sets, patterns, fidelity, seed)
     rows = []
     for bw_set in bw_sets:
         for pattern in patterns:
-            firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed)
+            firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed, executor)
             rows.append(
                 [
                     bw_set.name,
@@ -219,11 +284,13 @@ def figure_3_4(
     seed: int = 1,
     bw_sets: Sequence[BandwidthSet] = BANDWIDTH_SETS,
     patterns: Sequence[str] = CORE_PATTERNS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
+    _prefetch(executor, ("firefly", "dhetpnoc"), bw_sets, patterns, fidelity, seed)
     rows = []
     for bw_set in bw_sets:
         for pattern in patterns:
-            firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed)
+            firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed, executor)
             rows.append(
                 [
                     bw_set.name,
@@ -256,10 +323,12 @@ def figure_3_5(
     seed: int = 1,
     bw_set: BandwidthSet = BW_SET_1,
     patterns: Sequence[str] = CASE_STUDY_PATTERNS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
+    _prefetch(executor, ("firefly", "dhetpnoc"), (bw_set,), patterns, fidelity, seed)
     rows = []
     for pattern in patterns:
-        firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed)
+        firefly, dhet = _peak_pair(bw_set, pattern, fidelity, seed, executor)
         rows.append(
             [
                 pattern,
@@ -320,11 +389,13 @@ def _per_arch_scaling(
     fidelity: Fidelity,
     seed: int,
     patterns: Sequence[str],
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
+    _prefetch(executor, (arch,), BANDWIDTH_SETS, patterns, fidelity, seed)
     rows = []
     for bw_set in BANDWIDTH_SETS:
         for pattern in patterns:
-            res = peak_result(arch, bw_set, pattern, fidelity, seed)
+            res = _peak(arch, bw_set, pattern, fidelity, seed, executor)
             rows.append(
                 [
                     bw_set.name,
@@ -350,6 +421,7 @@ def figure_3_7(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     patterns: Sequence[str] = CORE_PATTERNS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
     return _per_arch_scaling(
         "dhetpnoc",
@@ -358,6 +430,7 @@ def figure_3_7(
         fidelity,
         seed,
         patterns,
+        executor,
     )
 
 
@@ -365,6 +438,7 @@ def figure_3_10(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     patterns: Sequence[str] = CORE_PATTERNS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
     return _per_arch_scaling(
         "firefly",
@@ -373,6 +447,7 @@ def figure_3_10(
         fidelity,
         seed,
         patterns,
+        executor,
     )
 
 
@@ -381,17 +456,22 @@ def figure_3_10(
 # ---------------------------------------------------------------------------
 
 def _dhet_scaling_rows(
-    fidelity: Fidelity, seed: int
+    fidelity: Fidelity, seed: int, executor: Optional[SweepExecutor] = None
 ) -> List[Tuple[BandwidthSet, RunResult, float]]:
+    _prefetch(executor, ("dhetpnoc",), BANDWIDTH_SETS, ("skewed3",), fidelity, seed)
     out = []
     for bw_set in BANDWIDTH_SETS:
-        res = peak_result("dhetpnoc", bw_set, "skewed3", fidelity, seed)
+        res = _peak("dhetpnoc", bw_set, "skewed3", fidelity, seed, executor)
         out.append((bw_set, res, dhetpnoc_area_mm2(bw_set.total_wavelengths)))
     return out
 
 
-def figure_3_8(fidelity: Fidelity = QUICK_FIDELITY, seed: int = 1) -> FigureResult:
-    data = _dhet_scaling_rows(fidelity, seed)
+def figure_3_8(
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
+    data = _dhet_scaling_rows(fidelity, seed, executor)
     base_area = data[0][2]
     base_bw = data[0][1].delivered_gbps
     rows = [
@@ -413,8 +493,12 @@ def figure_3_8(fidelity: Fidelity = QUICK_FIDELITY, seed: int = 1) -> FigureResu
     )
 
 
-def figure_3_9(fidelity: Fidelity = QUICK_FIDELITY, seed: int = 1) -> FigureResult:
-    data = _dhet_scaling_rows(fidelity, seed)
+def figure_3_9(
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
+    data = _dhet_scaling_rows(fidelity, seed, executor)
     base_area = data[0][2]
     base_epm = data[0][1].energy_per_message_pj
     rows = [

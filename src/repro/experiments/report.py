@@ -56,6 +56,22 @@ def percent_change(new: float, old: float) -> float:
     return (new - old) / old * 100.0
 
 
+def mean_spread(mean: float, plus_minus: float, digits: int = 1) -> str:
+    """Render a replicated metric as ``mean +/- uncertainty``.
+
+    ``plus_minus`` is printed as given — pass a standard deviation (or
+    any half-width you mean literally); the mean is generally not the
+    midrange, so deriving an interval from ``(hi - lo) / 2`` here would
+    claim coverage it does not have.
+
+    >>> mean_spread(531.02, 28.07)
+    '531.0 +/- 28.1'
+    """
+    if plus_minus <= 0:
+        return f"{mean:.{digits}f}"
+    return f"{mean:.{digits}f} +/- {plus_minus:.{digits}f}"
+
+
 def bar(value: float, max_value: float, width: int = 40, char: str = "#") -> str:
     """A proportional text bar (for example scripts)."""
     if max_value <= 0:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.base import PhotonicCrossbarNoC
 from repro.arch.config import SystemConfig
@@ -158,21 +158,47 @@ def saturation_sweep(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> List[RunResult]:
-    """Run the offered-load grid for one (architecture, pattern)."""
+    """Run the offered-load grid for one (architecture, pattern).
+
+    Delegates to :class:`repro.experiments.sweep.SweepExecutor` against
+    the process-wide default store, so repeated sweeps over the same
+    configuration are cache hits and ``workers > 1`` fans the grid out
+    over a process pool. The given ``seed`` is used verbatim for every
+    load point (legacy semantics); use a :class:`SweepSpec` directly for
+    derived per-curve seeds.
+
+    The points are built from the *caller's* ``bw_set``/``config``
+    objects (not rehydrated from the set's index), so customised
+    bandwidth sets simulate exactly what was passed. The set is pinned
+    on each point only when it differs from the effective config's set
+    (the legacy ``run_once`` keeps the two independent); when they
+    agree, the config already carries the set and the cache key matches
+    the ``SweepSpec`` path.
+    """
+    from repro.experiments.sweep import RunPoint, SweepExecutor
+
+    config = config or SystemConfig(bw_set=bw_set)
+    executor = SweepExecutor(
+        workers=workers, store=default_store(), config=config
+    )
     capacity = bw_set.aggregate_gbps
-    return [
-        run_once(
-            arch_name,
-            bw_set,
-            pattern_name,
+    pinned = None if config.bw_set == bw_set else bw_set
+    points = [
+        RunPoint(
+            arch=arch_name,
+            bw_set_index=bw_set.index,
+            pattern=pattern_name,
+            load_fraction=fraction,
             offered_gbps=fraction * capacity,
-            fidelity=fidelity,
             seed=seed,
-            config=config,
+            base_seed=seed,
+            bw_set=pinned,
         )
         for fraction in fidelity.load_fractions
     ]
+    return executor.run_points(points, fidelity)
 
 
 def peak_of(results: Sequence[RunResult]) -> RunResult:
@@ -183,9 +209,28 @@ def peak_of(results: Sequence[RunResult]) -> RunResult:
 
 
 # ---------------------------------------------------------------------------
-# Cached peak studies (figures 3-3/3-4/3-7/3-10 share the same data)
+# Shared result store (figures 3-3/3-4/3-7/3-10 share the same data)
 # ---------------------------------------------------------------------------
-_PEAK_CACHE: Dict[tuple, RunResult] = {}
+#: Process-wide store backing ``saturation_sweep``/``peak_result``.
+#: Content-hash keyed (full fidelity schedule + config fingerprint), so
+#: same-named fidelities with different cycle counts can never collide.
+_DEFAULT_STORE = None
+
+
+def default_store():
+    """The process-wide :class:`~repro.experiments.store.ResultStore`."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        from repro.experiments.store import ResultStore
+
+        _DEFAULT_STORE = ResultStore()
+    return _DEFAULT_STORE
+
+
+def set_default_store(store) -> None:
+    """Swap the process-wide store (e.g. for a JSONL-backed one)."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
 
 
 def peak_result(
@@ -194,15 +239,16 @@ def peak_result(
     pattern_name: str,
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
+    workers: int = 1,
 ) -> RunResult:
-    """Cached peak extraction for one configuration."""
-    key = (arch_name, bw_set.index, pattern_name, fidelity.name, seed)
-    if key not in _PEAK_CACHE:
-        _PEAK_CACHE[key] = peak_of(
-            saturation_sweep(arch_name, bw_set, pattern_name, fidelity, seed)
+    """Store-backed peak extraction for one configuration."""
+    return peak_of(
+        saturation_sweep(
+            arch_name, bw_set, pattern_name, fidelity, seed, workers=workers
         )
-    return _PEAK_CACHE[key]
+    )
 
 
 def clear_peak_cache() -> None:
-    _PEAK_CACHE.clear()
+    """Drop the in-memory view of the default store."""
+    default_store().clear()

@@ -1,0 +1,182 @@
+"""Persistent, content-addressed store for :class:`RunResult` records.
+
+Every simulated point is identified by a **content hash** over the full
+set of inputs that determine its outcome:
+
+* the run point itself (architecture, bandwidth-set index, pattern,
+  offered load in Gb/s, RNG seed),
+* the fidelity *schedule* fields (``total_cycles``, ``reset_cycles``) —
+  deliberately **not** ``fidelity.name``, so two fidelities that happen
+  to share a name but differ in cycles can never collide (the historic
+  ``_PEAK_CACHE`` bug), and
+* a fingerprint of the :class:`~repro.arch.config.SystemConfig` the run
+  used.
+
+Records are persisted as JSONL (one ``{"key": ..., "result": ...}``
+object per line) so a store file is append-only, human-greppable, safe
+to merge with ``cat``, and tolerant of torn writes: corrupted or
+truncated lines are skipped on load rather than poisoning the sweep.
+An in-memory mode (``path=None``) serves as the process-local cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.arch.config import SystemConfig
+from repro.experiments.runner import Fidelity, RunResult
+
+#: Bump when the hashed identity or the serialised schema changes.
+SCHEMA_VERSION = 1
+
+
+def _canonical(obj) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable digest of every field of a :class:`SystemConfig`."""
+    return hashlib.sha256(
+        _canonical(dataclasses.asdict(config)).encode()
+    ).hexdigest()[:16]
+
+
+def result_key(
+    arch: str,
+    bw_set_index: int,
+    pattern: str,
+    offered_gbps: float,
+    seed: int,
+    fidelity: Fidelity,
+    config: Optional[SystemConfig] = None,
+    config_digest: Optional[str] = None,
+    bw_set=None,
+) -> str:
+    """Content hash identifying one simulation's full input set.
+
+    Only quantities that influence the simulated outcome participate:
+    the fidelity's *name* and its *load grid* are excluded (a point's
+    result does not depend on which other loads the sweep visits).
+    ``bw_set`` need only be passed when simulating a set that is *not*
+    the canonical one for ``bw_set_index`` alongside an explicit config
+    (otherwise the config fingerprint already covers the set's fields).
+    """
+    if config_digest is None:
+        config_digest = config_fingerprint(config or SystemConfig())
+    identity = {
+        "v": SCHEMA_VERSION,
+        "arch": arch,
+        "bw_set": bw_set_index,
+        "pattern": pattern,
+        "offered_gbps": round(float(offered_gbps), 9),
+        "seed": int(seed),
+        "total_cycles": fidelity.total_cycles,
+        "reset_cycles": fidelity.reset_cycles,
+        "config": config_digest,
+    }
+    if bw_set is not None:
+        identity["bw_set_fields"] = dataclasses.asdict(bw_set)
+    return hashlib.sha256(_canonical(identity).encode()).hexdigest()
+
+
+def result_to_dict(result: RunResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict) -> RunResult:
+    fields = {f.name for f in dataclasses.fields(RunResult)}
+    return RunResult(**{k: v for k, v in data.items() if k in fields})
+
+
+class ResultStore:
+    """Keyed store of :class:`RunResult`; optionally JSONL-backed.
+
+    With a ``path`` the store loads every parseable line eagerly and
+    appends one line per :meth:`put`, flushing immediately so that a
+    concurrently-resumed sweep (or a crash) loses at most the record
+    being written. Without a ``path`` it is a plain in-process cache.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._results: Dict[str, RunResult] = {}
+        # Keys already on disk; survives clear() so re-simulated points
+        # aren't re-appended as duplicate lines.
+        self._persisted: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # -- persistence --------------------------------------------------------
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    result = result_from_dict(record["result"])
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._results[key] = result
+                self._persisted.add(key)
+
+    def _append(self, key: str, result: RunResult) -> None:
+        if self.path is None or key in self._persisted:
+            return
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = _canonical({"key": key, "result": result_to_dict(result)})
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+        self._persisted.add(key)
+
+    # -- mapping interface --------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        result = self._results.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        if key not in self._results:
+            self._append(key, result)
+        self._results[key] = result
+
+    def put_many(self, items: Iterable[Tuple[str, RunResult]]) -> None:
+        for key, result in items:
+            self.put(key, result)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[Tuple[str, RunResult]]:
+        return iter(self._results.items())
+
+    def clear(self) -> None:
+        """Drop the in-memory view.
+
+        The backing file is left untouched, and the set of keys known to
+        be on disk is retained: if a cleared point is re-simulated (the
+        result is deterministic, so the record is identical), it is not
+        appended to the file a second time.
+        """
+        self._results.clear()
+        self.hits = self.misses = 0

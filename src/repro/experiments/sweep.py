@@ -1,0 +1,406 @@
+"""Parallel, resumable sweep orchestration over the experiment grid.
+
+The thesis's headline exhibits are all offered-load sweeps over an
+(architecture x bandwidth set x traffic pattern x seed x load) grid.
+This module turns that grid into first-class objects:
+
+* :class:`SweepSpec` — a declarative description of the grid, expandable
+  to a flat list of :class:`RunPoint`\\ s;
+* :class:`SweepExecutor` — fans points out over a ``multiprocessing``
+  worker pool, consults a :class:`~repro.experiments.store.ResultStore`
+  first, and only simulates points the store has never seen, making
+  sweeps resumable and cache hits instant across processes;
+* :func:`replication_summary` — multi-seed replication (mean +/- spread
+  across seeds) for the scenario-diversity axis.
+
+Seed derivation
+---------------
+Each expanded point carries an explicit ``seed``. In the default
+``derive_seeds=True`` mode the seed for a point is::
+
+    derive_seed(base_seed, arch, bw_set_index, pattern)
+
+i.e. a SHA-256 hash of the base seed joined with the *curve*
+coordinates, reduced to 63 bits. Two properties follow:
+
+1. **Order independence** — a point's seed depends only on its own
+   coordinates, never on expansion order or worker scheduling, so the
+   serial and parallel paths are bitwise identical.
+2. **Scenario pinning** — all load fractions of one curve share the
+   curve seed, holding the random placement/traffic scenario fixed
+   while load varies (the thesis's methodology for locating the
+   saturation knee); distinct curves and distinct base seeds get
+   decorrelated streams.
+
+With ``derive_seeds=False`` every point uses its base seed verbatim,
+which is the legacy :func:`repro.experiments.runner.saturation_sweep`
+behaviour (kept for backwards-compatible golden data).
+
+Result identity / hashing
+-------------------------
+The store key for a point is a SHA-256 content hash over the simulation
+inputs only: (arch, bw_set_index, pattern, offered_gbps, seed,
+fidelity.total_cycles, fidelity.reset_cycles, SystemConfig fingerprint).
+Fidelity *names* and the surrounding load grid are excluded — see
+:mod:`repro.experiments.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.config import SystemConfig
+from repro.experiments.runner import (
+    ARCHITECTURES,
+    Fidelity,
+    QUICK_FIDELITY,
+    RunResult,
+    peak_of,
+    run_once,
+)
+from repro.experiments.store import ResultStore, config_fingerprint, result_key
+from repro.traffic.bandwidth_sets import (
+    BANDWIDTH_SETS,
+    BandwidthSet,
+    bandwidth_set_by_index,
+)
+
+
+def derive_seed(base_seed: int, arch: str, bw_set_index: int, pattern: str) -> int:
+    """Stable 63-bit per-curve seed (see module docstring)."""
+    text = f"{base_seed}|{arch}|{bw_set_index}|{pattern}"
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One fully-specified simulation: a single cell of the sweep grid."""
+
+    arch: str
+    bw_set_index: int
+    pattern: str
+    load_fraction: float
+    offered_gbps: float
+    seed: int
+    base_seed: int
+    #: The actual bandwidth set to simulate. ``None`` means "the
+    #: canonical table 3-1 set for ``bw_set_index``"; callers sweeping a
+    #: customised set (``runner.saturation_sweep``) pin it here so it is
+    #: never rehydrated from the index.
+    bw_set: Optional[BandwidthSet] = None
+
+    @property
+    def curve(self) -> Tuple[str, int, str, int]:
+        """Coordinates of the load curve this point belongs to."""
+        return (self.arch, self.bw_set_index, self.pattern, self.base_seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative (arch x bw set x pattern x seed x load) grid."""
+
+    archs: Tuple[str, ...] = ARCHITECTURES
+    bw_set_indices: Tuple[int, ...] = tuple(s.index for s in BANDWIDTH_SETS)
+    patterns: Tuple[str, ...] = ("uniform",)
+    seeds: Tuple[int, ...] = (1,)
+    fidelity: Fidelity = QUICK_FIDELITY
+    #: Override the fidelity's load grid; ``None`` uses it unchanged.
+    load_fractions: Optional[Tuple[float, ...]] = None
+    derive_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.archs and self.bw_set_indices and self.patterns and self.seeds):
+            raise ValueError("every sweep axis needs at least one value")
+        if self.load_fractions is not None and not self.load_fractions:
+            raise ValueError("load_fractions override must be non-empty")
+        for axis, values in (
+            ("archs", self.archs),
+            ("bw_set_indices", self.bw_set_indices),
+            ("patterns", self.patterns),
+            ("seeds", self.seeds),
+            ("load_fractions", self.load_fractions or ()),
+        ):
+            if len(set(values)) != len(values):
+                raise ValueError(
+                    f"duplicate values in {axis}: {values} (a repeated axis "
+                    "value would double-count the same simulation)"
+                )
+
+    @property
+    def fractions(self) -> Tuple[float, ...]:
+        return self.load_fractions or self.fidelity.load_fractions
+
+    def expand(self) -> List[RunPoint]:
+        """Flatten the grid to points, in deterministic axis order."""
+        points = []
+        for arch in self.archs:
+            for bw_index in self.bw_set_indices:
+                capacity = bandwidth_set_by_index(bw_index).aggregate_gbps
+                for pattern in self.patterns:
+                    for base_seed in self.seeds:
+                        seed = (
+                            derive_seed(base_seed, arch, bw_index, pattern)
+                            if self.derive_seeds
+                            else base_seed
+                        )
+                        for fraction in self.fractions:
+                            points.append(
+                                RunPoint(
+                                    arch=arch,
+                                    bw_set_index=bw_index,
+                                    pattern=pattern,
+                                    load_fraction=fraction,
+                                    offered_gbps=fraction * capacity,
+                                    seed=seed,
+                                    base_seed=base_seed,
+                                )
+                            )
+        return points
+
+    def n_points(self) -> int:
+        return (
+            len(self.archs)
+            * len(self.bw_set_indices)
+            * len(self.patterns)
+            * len(self.seeds)
+            * len(self.fractions)
+        )
+
+
+def _execute_point(payload: Tuple[RunPoint, Fidelity, Optional[SystemConfig]]) -> RunResult:
+    """Worker entry: simulate one point (top-level for pickling).
+
+    The simulated bandwidth set is, in order of precedence: the point's
+    pinned ``bw_set``, the explicit config's set, the canonical set for
+    the point's index — matching ``run_once``'s legacy semantics where
+    the ``bw_set`` argument and ``config`` are independent.
+    """
+    point, fidelity, config = payload
+    if point.bw_set is not None:
+        bw_set = point.bw_set
+    elif config is not None:
+        bw_set = config.bw_set
+    else:
+        bw_set = bandwidth_set_by_index(point.bw_set_index)
+    return run_once(
+        point.arch,
+        bw_set,
+        point.pattern,
+        offered_gbps=point.offered_gbps,
+        fidelity=fidelity,
+        seed=point.seed,
+        config=config,
+    )
+
+
+class SweepExecutor:
+    """Run sweep points through the store, fanning misses out to workers.
+
+    Results come back in point order regardless of worker scheduling.
+    The store is consulted and written only from the coordinating
+    process, so a single JSONL file stays consistent under any worker
+    count; workers receive pickled points and return pickled results.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.store = store if store is not None else ResultStore()
+        self.config = config
+        #: Number of points actually simulated by the last ``run*`` call
+        #: (misses; cache hits are free).
+        self.executed_count = 0
+        # Config construction + fingerprinting is identical for every
+        # point of a bandwidth set; memoize it rather than re-hashing
+        # per point.
+        self._config_cache: Dict[int, Tuple[SystemConfig, str]] = {}
+
+    def _config_for(self, bw_set_index: int) -> SystemConfig:
+        return self._config_entry(bw_set_index)[0]
+
+    def _config_entry(self, bw_set_index: int) -> Tuple[SystemConfig, str]:
+        entry = self._config_cache.get(bw_set_index)
+        if entry is None:
+            config = (
+                self.config
+                if self.config is not None
+                else SystemConfig(bw_set=bandwidth_set_by_index(bw_set_index))
+            )
+            entry = (config, config_fingerprint(config))
+            self._config_cache[bw_set_index] = entry
+        return entry
+
+    def _key(self, point: RunPoint, fidelity: Fidelity) -> str:
+        _config, digest = self._config_entry(point.bw_set_index)
+        return result_key(
+            point.arch,
+            point.bw_set_index,
+            point.pattern,
+            point.offered_gbps,
+            point.seed,
+            fidelity,
+            config_digest=digest,
+            bw_set=point.bw_set,
+        )
+
+    def run_points(
+        self, points: Sequence[RunPoint], fidelity: Fidelity
+    ) -> List[RunResult]:
+        """Execute *points*, returning results in the same order."""
+        keys = [self._key(p, fidelity) for p in points]
+        # Dedup identical keys within the batch: a key repeated in
+        # *points* (same simulation inputs) runs once and is shared.
+        batch_seen = set()
+        missing = []
+        for i, (p, k) in enumerate(zip(points, keys)):
+            if k in self.store or k in batch_seen:
+                continue
+            batch_seen.add(k)
+            missing.append((i, p))
+        self.executed_count = len(missing)
+        fresh: Dict[int, RunResult] = {}
+        if missing:
+            payloads = [
+                (p, fidelity, self._config_for(p.bw_set_index)) for _i, p in missing
+            ]
+            if self.workers > 1 and len(missing) > 1:
+                with multiprocessing.Pool(self.workers) as pool:
+                    outcomes = pool.map(_execute_point, payloads, chunksize=1)
+            else:
+                outcomes = [_execute_point(p) for p in payloads]
+            for (i, _p), result in zip(missing, outcomes):
+                fresh[i] = result
+                self.store.put(keys[i], result)
+        return [
+            fresh[i] if i in fresh else self.store.get(keys[i])
+            for i in range(len(points))
+        ]
+
+    def run(self, spec: SweepSpec) -> List[RunResult]:
+        """Expand and execute a whole :class:`SweepSpec`."""
+        return self.run_points(spec.expand(), spec.fidelity)
+
+    # -- curve-level helpers ------------------------------------------------
+    def sweep_curve(
+        self,
+        arch: str,
+        bw_set_index: int,
+        pattern: str,
+        fidelity: Fidelity,
+        seed: int = 1,
+        derive_seeds: bool = False,
+    ) -> List[RunResult]:
+        """One load curve (legacy ``saturation_sweep`` semantics by default)."""
+        spec = SweepSpec(
+            archs=(arch,),
+            bw_set_indices=(bw_set_index,),
+            patterns=(pattern,),
+            seeds=(seed,),
+            fidelity=fidelity,
+            derive_seeds=derive_seeds,
+        )
+        return self.run(spec)
+
+    def peaks(self, spec: SweepSpec) -> Dict[Tuple[str, int, str, int], RunResult]:
+        """Per-curve saturation peaks, keyed by ``RunPoint.curve``."""
+        points = spec.expand()
+        results = self.run_points(points, spec.fidelity)
+        curves: Dict[Tuple[str, int, str, int], List[RunResult]] = {}
+        for point, result in zip(points, results):
+            curves.setdefault(point.curve, []).append(result)
+        return {curve: peak_of(rs) for curve, rs in curves.items()}
+
+
+# ---------------------------------------------------------------------------
+# Multi-seed replication (mean +/- spread across seeds)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/spread of one scalar metric across replicated seeds."""
+
+    mean: float
+    std: float
+    lo: float
+    hi: float
+    n: int
+
+    @property
+    def spread(self) -> float:
+        return self.hi - self.lo
+
+
+def summarize_metric(values: Sequence[float]) -> MetricSummary:
+    if not values:
+        raise ValueError("cannot summarize zero values")
+    return MetricSummary(
+        mean=mean(values),
+        std=pstdev(values) if len(values) > 1 else 0.0,
+        lo=min(values),
+        hi=max(values),
+        n=len(values),
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedPeak:
+    """Saturation-peak statistics for one curve family across seeds."""
+
+    arch: str
+    bw_set_index: int
+    pattern: str
+    delivered_gbps: MetricSummary
+    energy_per_message_pj: MetricSummary
+    mean_latency_cycles: MetricSummary
+    seeds: Tuple[int, ...] = field(default_factory=tuple)
+
+
+def replication_summary(
+    spec: SweepSpec, executor: Optional[SweepExecutor] = None
+) -> List[ReplicatedPeak]:
+    """Run *spec* and fold per-seed peaks into mean +/- spread rows.
+
+    The grouping collapses the seed axis only: one row per
+    (arch, bw set, pattern), ordered like the spec's axes.
+    """
+    executor = executor or SweepExecutor()
+    peaks = executor.peaks(spec)
+    grouped: Dict[Tuple[str, int, str], List[Tuple[int, RunResult]]] = {}
+    for (arch, bw_index, pattern, base_seed), peak in peaks.items():
+        grouped.setdefault((arch, bw_index, pattern), []).append((base_seed, peak))
+    out = []
+    for arch in spec.archs:
+        for bw_index in spec.bw_set_indices:
+            for pattern in spec.patterns:
+                entries = grouped[(arch, bw_index, pattern)]
+                seeds = tuple(s for s, _r in entries)
+                rs = [r for _s, r in entries]
+                out.append(
+                    ReplicatedPeak(
+                        arch=arch,
+                        bw_set_index=bw_index,
+                        pattern=pattern,
+                        delivered_gbps=summarize_metric(
+                            [r.delivered_gbps for r in rs]
+                        ),
+                        energy_per_message_pj=summarize_metric(
+                            [r.energy_per_message_pj for r in rs]
+                        ),
+                        mean_latency_cycles=summarize_metric(
+                            [r.mean_latency_cycles for r in rs]
+                        ),
+                        seeds=seeds,
+                    )
+                )
+    return out

@@ -122,3 +122,15 @@ def bandwidth_set_by_index(index: int) -> BandwidthSet:
         if bw_set.index == index:
             return bw_set
     raise KeyError(f"no bandwidth set with index {index}")
+
+
+def is_canonical_set(bw_set: BandwidthSet) -> bool:
+    """Whether *bw_set* is exactly the registered set with its index.
+
+    A customised set (``dataclasses.replace(BW_SET_1, ...)``) shares an
+    index with a table 3-1 set but must never be treated as it.
+    """
+    for candidate in BANDWIDTH_SETS:
+        if candidate.index == bw_set.index:
+            return candidate == bw_set
+    return False

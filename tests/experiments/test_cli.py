@@ -3,6 +3,15 @@
 import pytest
 
 from repro.experiments.cli import build_parser, main
+from repro.experiments.runner import default_store, set_default_store
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_store():
+    """``--store`` swaps the process-wide store; put it back after."""
+    prev = default_store()
+    yield
+    set_default_store(prev)
 
 
 class TestParser:
@@ -26,6 +35,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table-3-1", "--fidelity", "warp"])
 
+    def test_sweep_command_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.arch == ["firefly", "dhetpnoc"]
+        assert args.seeds == [1]
+        assert args.workers == 1
+        assert args.store is None
+
+    def test_sweep_command_full(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "firefly", "--pattern", "uniform", "skewed3",
+             "--bw-set", "1", "--seeds", "1", "2", "3", "--workers", "4",
+             "--store", "out.jsonl", "--fixed-seeds"]
+        )
+        assert args.pattern == ["uniform", "skewed3"]
+        assert args.seeds == [1, 2, 3]
+        assert args.workers == 4
+        assert args.store == "out.jsonl"
+        assert args.fixed_seeds
+
+    def test_workers_accepted_on_run_and_all(self):
+        assert build_parser().parse_args(
+            ["run", "figure-3-3", "--workers", "2"]
+        ).workers == 2
+        assert build_parser().parse_args(["all", "--workers", "2"]).workers == 2
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -48,3 +83,19 @@ class TestMain:
         assert main(["run", "figure-1-1"]) == 0
         out = capsys.readouterr().out
         assert "MUM" in out
+
+    def test_sweep_replication_output(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        argv = ["sweep", "--arch", "firefly", "dhetpnoc", "--pattern",
+                "skewed3", "--bw-set", "1", "--seeds", "1", "2",
+                "--workers", "2", "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Saturation peaks" in out
+        assert "+/-" in out  # multi-seed spread is reported
+        assert "d-HetPNoC peak gain" in out
+
+        # Re-running against the same store simulates nothing new.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out

@@ -83,6 +83,31 @@ class TestFigure36:
 class TestSimulatedFigures:
     """One shared tiny-fidelity dataset for the simulated exhibits."""
 
+    def test_figure_3_3_executor_matches_serial(self):
+        """The parallel prefetch path must reproduce the serial rows."""
+        from repro.experiments.sweep import SweepExecutor
+
+        kwargs = dict(fidelity=TINY, seed=3, bw_sets=[BW_SET_1],
+                      patterns=("uniform", "skewed3"))
+        serial = figure_3_3(**kwargs)
+        parallel = figure_3_3(**kwargs, executor=SweepExecutor(workers=2))
+        assert parallel.rows == serial.rows
+
+    def test_figure_3_3_customised_bw_set_not_rehydrated(self):
+        """Regression: a customised BandwidthSet handed to the executor
+        path must be simulated as passed, not swapped for the canonical
+        set sharing its index."""
+        import dataclasses
+
+        from repro.experiments.sweep import SweepExecutor
+
+        custom = dataclasses.replace(BW_SET_1, total_wavelengths=128)
+        kwargs = dict(fidelity=TINY, seed=3, bw_sets=[custom],
+                      patterns=("uniform",))
+        serial = figure_3_3(**kwargs)
+        parallel = figure_3_3(**kwargs, executor=SweepExecutor(workers=2))
+        assert parallel.rows == serial.rows
+
     def test_figure_3_3_shape(self):
         result = figure_3_3(fidelity=TINY, seed=3, bw_sets=[BW_SET_1],
                             patterns=("uniform", "skewed3"))

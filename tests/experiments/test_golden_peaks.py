@@ -1,0 +1,69 @@
+"""Golden regression tests for quick-fidelity saturation peaks.
+
+These pin the headline numbers of the (firefly, dhetpnoc) x skewed3
+pair on bandwidth set 1 at the CI ``quick`` fidelity, seed 1. Any PR
+that shifts delivered bandwidth or packet energy beyond tolerance has
+changed the simulated physics (or the RNG plumbing) and must regenerate
+the goldens *deliberately*, with the shift explained in the PR.
+
+Regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments.runner import QUICK_FIDELITY, peak_result
+    from repro.traffic.bandwidth_sets import BW_SET_1
+    for arch in ('firefly', 'dhetpnoc'):
+        r = peak_result(arch, BW_SET_1, 'skewed3', QUICK_FIDELITY, seed=1)
+        print(arch, r.delivered_gbps, r.energy_per_message_pj, r.offered_gbps)"
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, peak_result
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+#: Tolerance for incidental drift (float reassociation, refactors that
+#: preserve physics). Real behaviour changes land far outside this.
+REL_TOL = 0.02
+
+#: (delivered Gb/s, EPM pJ, offered Gb/s at the peak), quick fidelity,
+#: BW set 1, skewed3, seed 1.
+GOLDEN_QUICK = {
+    "firefly": (257.7230769230769, 11314.646448863628, 800.0),
+    "dhetpnoc": (433.78461538461534, 7754.351224197239, 800.0),
+}
+
+
+@pytest.mark.parametrize("arch", sorted(GOLDEN_QUICK))
+def test_quick_fidelity_peaks_match_golden(arch):
+    golden_bw, golden_epm, golden_offered = GOLDEN_QUICK[arch]
+    peak = peak_result(arch, BW_SET_1, "skewed3", QUICK_FIDELITY, seed=1)
+    assert peak.delivered_gbps == pytest.approx(golden_bw, rel=REL_TOL)
+    assert peak.energy_per_message_pj == pytest.approx(golden_epm, rel=REL_TOL)
+    assert peak.offered_gbps == pytest.approx(golden_offered, rel=REL_TOL)
+
+
+def test_golden_gap_is_the_thesis_shape():
+    """The pinned pair must keep the thesis's qualitative claim: a clear
+    d-HetPNoC bandwidth win and energy advantage under skewed 3."""
+    ff = peak_result("firefly", BW_SET_1, "skewed3", QUICK_FIDELITY, seed=1)
+    dh = peak_result("dhetpnoc", BW_SET_1, "skewed3", QUICK_FIDELITY, seed=1)
+    assert dh.delivered_gbps > 1.1 * ff.delivered_gbps
+    assert dh.energy_per_message_pj < ff.energy_per_message_pj
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FIDELITY") != "paper",
+    reason="paper-fidelity lane only (set REPRO_FIDELITY=paper)",
+)
+def test_paper_fidelity_peaks_keep_the_shape():
+    """Full table 3-3 schedule (10k cycles, dense sweep): the win must
+    hold at paper fidelity too. Marked ``slow``; runs in the
+    ``REPRO_FIDELITY=paper`` nightly lane, not in tier-1 CI.
+    """
+    ff = peak_result("firefly", BW_SET_1, "skewed3", PAPER_FIDELITY, seed=1)
+    dh = peak_result("dhetpnoc", BW_SET_1, "skewed3", PAPER_FIDELITY, seed=1)
+    assert dh.delivered_gbps > ff.delivered_gbps
+    assert dh.energy_per_message_pj < ff.energy_per_message_pj

@@ -88,3 +88,67 @@ class TestSweep:
         second = peak_result("firefly", BW_SET_1, "uniform", TINY, seed=5)
         assert first is second
         clear_peak_cache()
+
+    def test_same_fidelity_name_different_schedule_no_collision(self):
+        """Regression: the old ``_PEAK_CACHE`` keyed on ``fidelity.name``
+        only, so two fidelities sharing a name but differing in cycles
+        silently returned each other's results. The content-hash store
+        must keep them apart."""
+        clear_peak_cache()
+        short = Fidelity("clash", 700, 100, (0.3, 0.8))
+        longer = Fidelity("clash", 1400, 100, (0.3, 0.8))
+        a = peak_result("firefly", BW_SET_1, "uniform", short, seed=5)
+        b = peak_result("firefly", BW_SET_1, "uniform", longer, seed=5)
+        assert a != b  # twice the cycles cannot yield identical metrics
+        # And each identity stays individually cached.
+        assert peak_result("firefly", BW_SET_1, "uniform", short, seed=5) == a
+        assert peak_result("firefly", BW_SET_1, "uniform", longer, seed=5) == b
+        clear_peak_cache()
+
+    def test_customised_bw_set_is_simulated_as_passed(self):
+        """Regression: the executor path must not rehydrate the canonical
+        bandwidth set from the index — a customised set's capacity has to
+        drive the offered-load grid."""
+        import dataclasses
+
+        clear_peak_cache()
+        custom = dataclasses.replace(BW_SET_1, total_wavelengths=128)
+        results = saturation_sweep("firefly", custom, "uniform", TINY, seed=5)
+        assert [r.offered_gbps for r in results] == pytest.approx(
+            [f * custom.aggregate_gbps for f in TINY.load_fractions]
+        )
+        # And it must not collide with the canonical set's cache entries.
+        canonical = saturation_sweep("firefly", BW_SET_1, "uniform", TINY, seed=5)
+        assert canonical[0].offered_gbps != results[0].offered_gbps
+        clear_peak_cache()
+
+    def test_explicit_config_keeps_bw_set_argument(self):
+        """Regression: with an explicit config whose (default) bandwidth
+        set differs from the ``bw_set`` argument, the sweep must bind
+        traffic to the argument — exactly what ``run_once`` does — not
+        to ``config.bw_set``."""
+        from repro.arch.config import SystemConfig
+        from repro.traffic.bandwidth_sets import BW_SET_2
+
+        clear_peak_cache()
+        config = SystemConfig(n_vcs=8)  # default bw_set is BW_SET_1
+        swept = saturation_sweep(
+            "firefly", BW_SET_2, "uniform", TINY, seed=5, config=config
+        )
+        direct = [
+            run_once("firefly", BW_SET_2, "uniform", f * BW_SET_2.aggregate_gbps,
+                     TINY, seed=5, config=config)
+            for f in TINY.load_fractions
+        ]
+        assert swept == direct
+        assert all(r.bw_set_index == 2 for r in swept)
+        clear_peak_cache()
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = saturation_sweep("firefly", BW_SET_1, "uniform", TINY, seed=5)
+        clear_peak_cache()  # force the parallel path to re-simulate
+        parallel = saturation_sweep(
+            "firefly", BW_SET_1, "uniform", TINY, seed=5, workers=4
+        )
+        assert serial == parallel
+        clear_peak_cache()

@@ -46,6 +46,22 @@ class TestExamples:
         assert "1.608" in out
         assert "Conclusion's mitigation" in out
 
+    def test_parallel_sweep_study(self):
+        out = run_example("parallel_sweep_study.py", "--fidelity", "tiny",
+                          "--seeds", "1", "2", "--workers", "2")
+        assert "Replicated saturation peaks" in out
+        assert "simulated" in out
+        assert "Take-away" in out
+
+    def test_parallel_sweep_study_resumes_from_store(self, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        args = ("--fidelity", "tiny", "--seeds", "1", "--workers", "1",
+                "--store", store)
+        first = run_example("parallel_sweep_study.py", *args)
+        assert "0 from store" in first
+        second = run_example("parallel_sweep_study.py", *args)
+        assert "0 simulated" in second
+
     @pytest.mark.slow
     def test_skewed_traffic_study(self):
         out = run_example("skewed_traffic_study.py", "--fidelity", "quick")

@@ -1,0 +1,68 @@
+"""Benchmarks for the scenario engine.
+
+Measures what the scenario layer adds on top of a plain run:
+
+* the ``steady`` pass-through — contractually bit-identical to the
+  legacy path, so its overhead is the player's per-cycle dispatch cost;
+* a heavyweight multi-phase scenario (pattern rebinds + faults + a
+  modulator), the realistic upper bound;
+* schedule build + fingerprint, the per-point store-key overhead of the
+  scenario axis.
+"""
+
+from benchmarks.conftest import bench_workers
+from repro.experiments.runner import Fidelity, run_once
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import SweepExecutor, SweepSpec
+from repro.scenarios.library import build_scenario
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+BENCH_FIDELITY = Fidelity("bench-scen", 700, 100, (0.4, 0.9))
+
+
+def test_steady_passthrough(benchmark):
+    """Per-run cost of the player when the script changes nothing."""
+    result = benchmark.pedantic(
+        lambda: run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0,
+                         BENCH_FIDELITY, seed=1, scenario="steady"),
+        rounds=1, iterations=1,
+    )
+    assert result.packets_delivered > 0
+
+
+def test_multiphase_scenario_run(benchmark):
+    """Rebinds, faults and windows: the full-featured upper bound."""
+    result = benchmark.pedantic(
+        lambda: run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0,
+                         BENCH_FIDELITY, seed=1, scenario="fault_storm"),
+        rounds=1, iterations=1,
+    )
+    assert sum(p.faults_fired for p in result.phases) > 0
+
+
+def test_scenario_sweep_parallel(benchmark):
+    """A scenario axis fanned out over the persistent worker pool."""
+    spec = SweepSpec(
+        archs=("firefly", "dhetpnoc"),
+        bw_set_indices=(1,),
+        patterns=("skewed3",),
+        seeds=(1,),
+        fidelity=BENCH_FIDELITY,
+        scenarios=("steady", "hotspot_drift"),
+    )
+
+    def run_cold():
+        with SweepExecutor(workers=bench_workers(),
+                           store=ResultStore()) as executor:
+            return executor.run(spec)
+
+    results = benchmark.pedantic(run_cold, rounds=1, iterations=1)
+    assert len(results) == spec.n_points()
+
+
+def test_schedule_build_and_fingerprint(benchmark):
+    """Per-point overhead of scenario identity hashing (uncached)."""
+    digest = benchmark(
+        lambda: build_scenario("fault_storm", 10_000).fingerprint()
+    )
+    assert len(digest) == 16

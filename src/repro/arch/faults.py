@@ -41,7 +41,9 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Wavelength death
     # ------------------------------------------------------------------
-    def kill_wavelengths(self, cluster: int, count: int) -> List[WavelengthId]:
+    def kill_wavelengths(
+        self, cluster: int, count: int, clamp: bool = False
+    ) -> List[WavelengthId]:
         """Permanently fail *count* dynamic wavelengths held by *cluster*.
 
         The wavelengths leave the cluster's current table and are marked
@@ -49,14 +51,23 @@ class FaultInjector:
         pool genuinely shrinks). The reserved wavelength cannot die --
         modelling it as trimmed/athermal hardware -- so the starvation
         floor survives.
+
+        With ``clamp=True`` the kill is limited to the wavelengths the
+        cluster actually holds (possibly zero) instead of raising --
+        scripted fault storms use this, since holdings at the scripted
+        cycle depend on the traffic history.
         """
         controller = self.noc.controllers[cluster]
         current = controller.current_table
         available = len(current.dynamic_ids)
         if count > available:
-            raise FaultError(
-                f"cluster {cluster} holds only {available} dynamic wavelengths"
-            )
+            if not clamp:
+                raise FaultError(
+                    f"cluster {cluster} holds only {available} dynamic wavelengths"
+                )
+            count = available
+        if count == 0:
+            return []
         dead = current.remove_dynamic(count)
         self.dead_wavelengths.extend(dead)
         # Re-clamp the per-destination allocations to the shrunken holding.

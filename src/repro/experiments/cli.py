@@ -8,10 +8,15 @@ Examples::
     dhetpnoc-repro all --fidelity quick --workers 4 --store results/store.jsonl
     dhetpnoc-repro sweep --arch firefly dhetpnoc --pattern uniform skewed3 \\
         --bw-set 1 --seeds 1 2 3 --workers 4 --store results/store.jsonl
+    dhetpnoc-repro scenarios list
+    dhetpnoc-repro scenarios describe hotspot_drift
+    dhetpnoc-repro scenarios run hotspot_drift --arch firefly dhetpnoc
+    dhetpnoc-repro scenarios sweep --scenario steady fault_storm --workers 4
 
 ``--workers`` fans the sweep grid out over a process pool; ``--store``
 persists every simulated point as JSONL so re-runs (and other exhibits
-sharing the same points) are instant cache hits.
+sharing the same points) are instant cache hits. The ``scenarios``
+subcommands script time-varying workloads (see docs/scenarios.md).
 """
 
 from __future__ import annotations
@@ -109,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
     validate.add_argument("--seed", type=int, default=1)
+    validate.add_argument(
+        "--seeds", nargs="+", type=int, default=None, metavar="SEED",
+        help="replicate across these seeds and derive the dynamic claims' "
+        "tolerance from the observed seed spread",
+    )
     _add_parallel_options(validate)
 
     sweep = sub.add_parser(
@@ -131,22 +141,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_options(sweep)
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="time-varying workload scripts: list/describe/run/sweep",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    scen_sub.add_parser("list", help="list the built-in scenario library")
+
+    describe = scen_sub.add_parser("describe", help="show one scenario's script")
+    describe.add_argument("name")
+    describe.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="play one scenario and report per-phase metrics"
+    )
+    scen_run.add_argument("name")
+    scen_run.add_argument(
+        "--arch", nargs="+", default=["dhetpnoc"],
+        choices=["firefly", "dhetpnoc"],
+    )
+    scen_run.add_argument("--pattern", default="uniform",
+                          help="base pattern for phases that do not rebind")
+    scen_run.add_argument("--bw-set", type=int, default=1, choices=[1, 2, 3])
+    scen_run.add_argument(
+        "--load-fraction", type=float, default=0.6,
+        help="base offered load as a fraction of aggregate photonic capacity",
+    )
+    scen_run.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    scen_run.add_argument("--seed", type=int, default=1)
+
+    scen_sweep = scen_sub.add_parser(
+        "sweep", help="saturation sweep with a scenario axis"
+    )
+    scen_sweep.add_argument("--scenario", nargs="+", default=["steady"])
+    scen_sweep.add_argument(
+        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
+        choices=["firefly", "dhetpnoc"],
+    )
+    scen_sweep.add_argument("--pattern", nargs="+", default=["uniform"])
+    scen_sweep.add_argument("--bw-set", nargs="+", type=int, default=[1],
+                            choices=[1, 2, 3])
+    scen_sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    scen_sweep.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    _add_parallel_options(scen_sweep)
+
     return parser
+
+
+def _invalid_patterns(names, prog: str) -> bool:
+    """Pre-validate pattern names; prints an error and returns True on
+    the first bad one (PatternError or malformed skew level)."""
+    from repro.traffic.patterns import pattern_by_name
+
+    for name in names:
+        try:
+            pattern_by_name(name)
+        except ValueError as exc:
+            print(
+                f"dhetpnoc-repro {prog}: error: invalid pattern {name!r} ({exc})",
+                file=sys.stderr,
+            )
+            return True
+    return False
 
 
 def _run_sweep(args) -> int:
     from repro.experiments.sweep import SweepSpec, replication_summary
-    from repro.traffic.patterns import pattern_by_name
 
-    for name in args.pattern:
-        try:
-            pattern_by_name(name)
-        except ValueError as exc:  # PatternError or malformed skew level
-            print(
-                f"dhetpnoc-repro sweep: error: invalid pattern {name!r} ({exc})",
-                file=sys.stderr,
-            )
-            return 2
+    if _invalid_patterns(args.pattern, "sweep"):
+        return 2
 
     executor = _make_executor(args.workers, args.store)
     try:
@@ -207,6 +271,127 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_scenarios(args) -> int:
+    import json
+
+    from repro.scenarios.library import (
+        build_scenario,
+        scenario_catalog,
+        scenario_names,
+    )
+    from repro.scenarios.schedule import ScenarioError
+
+    if args.scenario_command == "list":
+        print(ascii_table(["scenario", "description"], scenario_catalog(),
+                          title="Built-in scenario library"))
+        return 0
+
+    if args.scenario_command == "describe":
+        try:
+            schedule = build_scenario(args.name, args.fidelity.total_cycles)
+        except ScenarioError as exc:
+            print(f"dhetpnoc-repro scenarios: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{schedule.name}: {schedule.description}")
+        print(f"fingerprint ({args.fidelity.name} fidelity): "
+              f"{schedule.fingerprint()}")
+        print(json.dumps(schedule.to_dict()["phases"], indent=2))
+        return 0
+
+    if args.scenario_command == "run":
+        from repro.experiments.report import phase_table
+        from repro.experiments.runner import run_once
+        from repro.traffic.bandwidth_sets import bandwidth_set_by_index
+
+        if args.name not in scenario_names():
+            print(
+                f"dhetpnoc-repro scenarios: error: unknown scenario "
+                f"{args.name!r}; available: {', '.join(scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        if _invalid_patterns([args.pattern], "scenarios run"):
+            return 2
+        bw_set = bandwidth_set_by_index(args.bw_set)
+        offered = args.load_fraction * bw_set.aggregate_gbps
+        for arch in args.arch:
+            result = run_once(
+                arch, bw_set, args.pattern, offered,
+                fidelity=args.fidelity, seed=args.seed, scenario=args.name,
+            )
+            print(phase_table(
+                result.phases,
+                title=(f"{args.name} on {arch} (set{args.bw_set}, base "
+                       f"{args.pattern}, {offered:.0f} Gb/s offered, "
+                       f"{args.fidelity.name} fidelity)"),
+            ))
+            print(f"overall: {result.delivered_gbps:.1f} Gb/s delivered, "
+                  f"{result.energy_per_message_pj:.0f} pJ/message, "
+                  f"latency {result.mean_latency_cycles:.1f} cyc\n")
+        return 0
+
+    # scenarios sweep
+    from repro.experiments.sweep import SweepSpec, replication_summary
+
+    unknown = [s for s in args.scenario if s not in scenario_names()]
+    if unknown:
+        print(f"dhetpnoc-repro scenarios: error: unknown scenarios {unknown}; "
+              f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    if _invalid_patterns(args.pattern, "scenarios sweep"):
+        return 2
+    executor = _make_executor(args.workers, args.store)
+    try:
+        spec = SweepSpec(
+            archs=tuple(args.arch),
+            bw_set_indices=tuple(args.bw_set),
+            patterns=tuple(args.pattern),
+            seeds=tuple(args.seeds),
+            fidelity=args.fidelity,
+            scenarios=tuple(args.scenario),
+        )
+    except ValueError as exc:
+        print(f"dhetpnoc-repro scenarios: error: {exc}", file=sys.stderr)
+        return 2
+    summaries = replication_summary(spec, executor)
+    rows = [
+        [
+            s.scenario or "-",
+            s.arch,
+            f"set{s.bw_set_index}",
+            s.pattern,
+            mean_spread(s.delivered_gbps.mean, s.delivered_gbps.std),
+            mean_spread(s.energy_per_message_pj.mean,
+                        s.energy_per_message_pj.std, 0),
+            mean_spread(s.mean_latency_cycles.mean, s.mean_latency_cycles.std),
+            len(s.seeds),
+        ]
+        for s in summaries
+    ]
+    print(ascii_table(
+        ["scenario", "arch", "bw set", "pattern", "peak Gb/s", "EPM pJ",
+         "latency cyc", "seeds"],
+        rows,
+        title=(f"Scenario saturation peaks ({args.fidelity.name} fidelity, "
+               f"{spec.n_points()} points, {executor.executed_count} "
+               f"simulated)"),
+    ))
+    by_key = {(s.scenario, s.arch, s.bw_set_index, s.pattern): s
+              for s in summaries}
+    if "firefly" in args.arch and "dhetpnoc" in args.arch:
+        for scenario in args.scenario:
+            for bw_index in args.bw_set:
+                for pattern in args.pattern:
+                    ff = by_key[(scenario, "firefly", bw_index, pattern)]
+                    dh = by_key[(scenario, "dhetpnoc", bw_index, pattern)]
+                    gain = percent_change(
+                        dh.delivered_gbps.mean, ff.delivered_gbps.mean
+                    )
+                    print(f"note: {scenario}/set{bw_index}/{pattern}: "
+                          f"d-HetPNoC peak gain {gain:+.2f}% over Firefly")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -227,11 +412,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.validation import render_validation, validate_all
 
         executor = _make_executor(args.workers, args.store)
-        results = validate_all(args.fidelity, args.seed, executor=executor)
+        results = validate_all(
+            args.fidelity, args.seed, executor=executor, seeds=args.seeds
+        )
         print(render_validation(results))
         return 0 if all(r.passed for r in results) else 1
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     return 1
 
 

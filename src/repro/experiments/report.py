@@ -72,6 +72,35 @@ def mean_spread(mean: float, plus_minus: float, digits: int = 1) -> str:
     return f"{mean:.{digits}f} +/- {plus_minus:.{digits}f}"
 
 
+def phase_table(phases, title: Optional[str] = None) -> str:
+    """Render a scenario run's per-phase metric windows as a table.
+
+    Accepts the ``phases`` tuple of a scenario
+    :class:`~repro.experiments.runner.RunResult` (see
+    :class:`~repro.scenarios.schedule.PhaseStats`).
+    """
+    rows = [
+        [
+            p.index,
+            p.pattern,
+            f"[{p.start_cycle}, {p.end_cycle})",
+            p.measured_cycles,
+            p.packets_offered,
+            p.packets_delivered,
+            round(p.delivered_gbps, 1),
+            round(p.mean_latency_cycles, 1),
+            p.faults_fired,
+        ]
+        for p in phases
+    ]
+    return ascii_table(
+        ["phase", "pattern", "cycles", "measured", "offered pkts",
+         "delivered pkts", "Gb/s", "latency cyc", "faults"],
+        rows,
+        title=title,
+    )
+
+
 def bar(value: float, max_value: float, width: int = 40, char: str = "#") -> str:
     """A proportional text bar (for example scripts)."""
     if max_value <= 0:

@@ -21,6 +21,7 @@ from repro.arch.base import PhotonicCrossbarNoC
 from repro.arch.config import SystemConfig
 from repro.arch.dhetpnoc import DHetPNoC
 from repro.arch.firefly import FireflyNoC
+from repro.scenarios.schedule import PhaseStats
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.traffic.bandwidth_sets import BandwidthSet
@@ -85,6 +86,10 @@ class RunResult:
     reservations_nacked: int
     laser_power_mw: float
     lit_wavelengths: int
+    #: Named scenario the run played (``None`` = stationary legacy run).
+    scenario: Optional[str] = None
+    #: Per-phase metric windows for scenario runs (empty otherwise).
+    phases: Tuple[PhaseStats, ...] = ()
 
     @property
     def delivered_fraction(self) -> float:
@@ -114,24 +119,53 @@ def run_once(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     config: Optional[SystemConfig] = None,
+    scenario: Optional[str] = None,
 ) -> RunResult:
-    """Simulate one configuration and collect its metrics."""
+    """Simulate one configuration and collect its metrics.
+
+    With a *scenario* name the run replays that scripted timeline (see
+    :mod:`repro.scenarios`): traffic comes from a
+    :class:`~repro.scenarios.player.ScenarioPlayer` instead of a plain
+    generator, ``pattern_name`` serves as the default for phases that do
+    not rebind, and the result carries per-phase metric windows. The
+    ``steady`` scenario reproduces the scenario-less path bit for bit.
+    """
     config = config or SystemConfig(bw_set=bw_set)
     streams = RandomStreams(seed)
     sim = Simulator(clock_hz=config.clock_hz, seed=seed)
-    pattern = pattern_by_name(pattern_name).bind(
-        bw_set,
-        config.n_clusters,
-        config.cores_per_cluster,
-        streams.get("placement"),
-    )
-    arch = build_arch(arch_name, sim, config, pattern)
-    generator = TrafficGenerator.for_offered_gbps(
-        pattern, offered_gbps, streams.get("traffic"), arch.submit, config.clock_hz
-    )
-    arch.attach_generator(generator)
+    player = None
+    if scenario is None:
+        pattern = pattern_by_name(pattern_name).bind(
+            bw_set,
+            config.n_clusters,
+            config.cores_per_cluster,
+            streams.get("placement"),
+        )
+        arch = build_arch(arch_name, sim, config, pattern)
+        generator = TrafficGenerator.for_offered_gbps(
+            pattern, offered_gbps, streams.get("traffic"), arch.submit, config.clock_hz
+        )
+        arch.attach_generator(generator)
+    else:
+        from repro.scenarios.library import build_scenario
+        from repro.scenarios.player import ScenarioPlayer, initial_pattern
+
+        schedule = build_scenario(scenario, fidelity.total_cycles)
+        pattern = initial_pattern(
+            schedule, pattern_name, bw_set,
+            config.n_clusters, config.cores_per_cluster, streams,
+        )
+        arch = build_arch(arch_name, sim, config, pattern)
+        player = ScenarioPlayer(
+            schedule, arch, pattern, offered_gbps, streams,
+            total_cycles=fidelity.total_cycles, clock_hz=config.clock_hz,
+        )
+        generator = player
+        arch.attach_generator(player)
     sim.run_with_reset(fidelity.total_cycles, fidelity.reset_cycles)
     arch.finalize()
+    if player is not None:
+        player.finish(fidelity.total_cycles)
     metrics = arch.metrics
     return RunResult(
         arch=arch_name,
@@ -148,6 +182,8 @@ def run_once(
         reservations_nacked=metrics.reservations_nacked,
         laser_power_mw=arch.laser_power_mw(),
         lit_wavelengths=arch.lit_wavelengths(),
+        scenario=scenario,
+        phases=player.phase_stats() if player is not None else (),
     )
 
 

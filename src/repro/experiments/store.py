@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.arch.config import SystemConfig
 from repro.experiments.runner import Fidelity, RunResult
+from repro.scenarios.schedule import PhaseStats
 
 #: Bump when the hashed identity or the serialised schema changes.
 SCHEMA_VERSION = 1
@@ -56,6 +57,8 @@ def result_key(
     config: Optional[SystemConfig] = None,
     config_digest: Optional[str] = None,
     bw_set=None,
+    scenario: Optional[str] = None,
+    scenario_digest: Optional[str] = None,
 ) -> str:
     """Content hash identifying one simulation's full input set.
 
@@ -65,6 +68,12 @@ def result_key(
     ``bw_set`` need only be passed when simulating a set that is *not*
     the canonical one for ``bw_set_index`` alongside an explicit config
     (otherwise the config fingerprint already covers the set's fields).
+
+    Scenario identity hashes by *content*: ``scenario_digest`` is the
+    built schedule's :meth:`~repro.scenarios.schedule.ScenarioSchedule.
+    fingerprint`, so a library edit that changes a scenario's script
+    also changes every affected key. Scenario-less runs omit the field
+    entirely, leaving pre-scenario store files valid.
     """
     if config_digest is None:
         config_digest = config_fingerprint(config or SystemConfig())
@@ -81,6 +90,14 @@ def result_key(
     }
     if bw_set is not None:
         identity["bw_set_fields"] = dataclasses.asdict(bw_set)
+    if scenario is not None:
+        if scenario_digest is None:
+            from repro.scenarios.library import build_scenario
+
+            scenario_digest = build_scenario(
+                scenario, fidelity.total_cycles
+            ).fingerprint()
+        identity["scenario"] = {"name": scenario, "fp": scenario_digest}
     return hashlib.sha256(_canonical(identity).encode()).hexdigest()
 
 
@@ -90,7 +107,19 @@ def result_to_dict(result: RunResult) -> dict:
 
 def result_from_dict(data: dict) -> RunResult:
     fields = {f.name for f in dataclasses.fields(RunResult)}
-    return RunResult(**{k: v for k, v in data.items() if k in fields})
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    # JSON turns the phase tuple into a list of dicts; rebuild it so
+    # store-loaded results compare equal (bitwise) to fresh ones.
+    phases = kwargs.get("phases")
+    if phases:
+        phase_fields = {f.name for f in dataclasses.fields(PhaseStats)}
+        kwargs["phases"] = tuple(
+            PhaseStats(**{k: v for k, v in p.items() if k in phase_fields})
+            for p in phases
+        )
+    elif phases is not None:
+        kwargs["phases"] = ()
+    return RunResult(**kwargs)
 
 
 class ResultStore:

@@ -1,8 +1,8 @@
 """Parallel, resumable sweep orchestration over the experiment grid.
 
 The thesis's headline exhibits are all offered-load sweeps over an
-(architecture x bandwidth set x traffic pattern x seed x load) grid.
-This module turns that grid into first-class objects:
+(architecture x bandwidth set x traffic pattern x scenario x seed x
+load) grid. This module turns that grid into first-class objects:
 
 * :class:`SweepSpec` — a declarative description of the grid, expandable
   to a flat list of :class:`RunPoint`\\ s;
@@ -40,9 +40,18 @@ Result identity / hashing
 -------------------------
 The store key for a point is a SHA-256 content hash over the simulation
 inputs only: (arch, bw_set_index, pattern, offered_gbps, seed,
-fidelity.total_cycles, fidelity.reset_cycles, SystemConfig fingerprint).
-Fidelity *names* and the surrounding load grid are excluded — see
-:mod:`repro.experiments.store`.
+fidelity.total_cycles, fidelity.reset_cycles, SystemConfig fingerprint,
+and — for scenario points — the scenario name plus its built schedule's
+content fingerprint). Fidelity *names* and the surrounding load grid
+are excluded — see :mod:`repro.experiments.store`.
+
+Scenario axis
+-------------
+``SweepSpec.scenarios`` adds named workload scripts from
+:mod:`repro.scenarios.library` as a grid axis (``None`` is the
+stationary legacy run). Points carry only the scenario *name*; worker
+processes rebuild the schedule from the library, keeping points
+trivially picklable while the key hashes the script's content.
 """
 
 from __future__ import annotations
@@ -70,9 +79,22 @@ from repro.traffic.bandwidth_sets import (
 )
 
 
-def derive_seed(base_seed: int, arch: str, bw_set_index: int, pattern: str) -> int:
-    """Stable 63-bit per-curve seed (see module docstring)."""
+def derive_seed(
+    base_seed: int,
+    arch: str,
+    bw_set_index: int,
+    pattern: str,
+    scenario: Optional[str] = None,
+) -> int:
+    """Stable 63-bit per-curve seed (see module docstring).
+
+    The scenario name joins the curve coordinates only when set, so
+    scenario-less curves keep their historic seeds (golden data stays
+    valid) while distinct scenarios get decorrelated streams.
+    """
     text = f"{base_seed}|{arch}|{bw_set_index}|{pattern}"
+    if scenario is not None:
+        text += f"|{scenario}"
     digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
 
@@ -93,11 +115,17 @@ class RunPoint:
     #: customised set (``runner.saturation_sweep``) pin it here so it is
     #: never rehydrated from the index.
     bw_set: Optional[BandwidthSet] = None
+    #: Named scenario script to replay (``None`` = stationary run).
+    #: Ships to workers as a name and is rebuilt from the library there.
+    scenario: Optional[str] = None
 
     @property
-    def curve(self) -> Tuple[str, int, str, int]:
+    def curve(self) -> Tuple[str, int, str, Optional[str], int]:
         """Coordinates of the load curve this point belongs to."""
-        return (self.arch, self.bw_set_index, self.pattern, self.base_seed)
+        return (
+            self.arch, self.bw_set_index, self.pattern,
+            self.scenario, self.base_seed,
+        )
 
 
 @dataclass(frozen=True)
@@ -112,9 +140,14 @@ class SweepSpec:
     #: Override the fidelity's load grid; ``None`` uses it unchanged.
     load_fractions: Optional[Tuple[float, ...]] = None
     derive_seeds: bool = True
+    #: Scenario axis: named scripts from :mod:`repro.scenarios.library`;
+    #: the ``None`` entry is the stationary legacy run.
+    scenarios: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         if not (self.archs and self.bw_set_indices and self.patterns and self.seeds):
+            raise ValueError("every sweep axis needs at least one value")
+        if not self.scenarios:
             raise ValueError("every sweep axis needs at least one value")
         if self.load_fractions is not None and not self.load_fractions:
             raise ValueError("load_fractions override must be non-empty")
@@ -123,6 +156,7 @@ class SweepSpec:
             ("bw_set_indices", self.bw_set_indices),
             ("patterns", self.patterns),
             ("seeds", self.seeds),
+            ("scenarios", self.scenarios),
             ("load_fractions", self.load_fractions or ()),
         ):
             if len(set(values)) != len(values):
@@ -142,24 +176,28 @@ class SweepSpec:
             for bw_index in self.bw_set_indices:
                 capacity = bandwidth_set_by_index(bw_index).aggregate_gbps
                 for pattern in self.patterns:
-                    for base_seed in self.seeds:
-                        seed = (
-                            derive_seed(base_seed, arch, bw_index, pattern)
-                            if self.derive_seeds
-                            else base_seed
-                        )
-                        for fraction in self.fractions:
-                            points.append(
-                                RunPoint(
-                                    arch=arch,
-                                    bw_set_index=bw_index,
-                                    pattern=pattern,
-                                    load_fraction=fraction,
-                                    offered_gbps=fraction * capacity,
-                                    seed=seed,
-                                    base_seed=base_seed,
+                    for scenario in self.scenarios:
+                        for base_seed in self.seeds:
+                            seed = (
+                                derive_seed(
+                                    base_seed, arch, bw_index, pattern, scenario
                                 )
+                                if self.derive_seeds
+                                else base_seed
                             )
+                            for fraction in self.fractions:
+                                points.append(
+                                    RunPoint(
+                                        arch=arch,
+                                        bw_set_index=bw_index,
+                                        pattern=pattern,
+                                        load_fraction=fraction,
+                                        offered_gbps=fraction * capacity,
+                                        seed=seed,
+                                        base_seed=base_seed,
+                                        scenario=scenario,
+                                    )
+                                )
         return points
 
     def n_points(self) -> int:
@@ -167,6 +205,7 @@ class SweepSpec:
             len(self.archs)
             * len(self.bw_set_indices)
             * len(self.patterns)
+            * len(self.scenarios)
             * len(self.seeds)
             * len(self.fractions)
         )
@@ -195,6 +234,7 @@ def _execute_point(payload: Tuple[RunPoint, Fidelity, Optional[SystemConfig]]) -
         fidelity=fidelity,
         seed=point.seed,
         config=config,
+        scenario=point.scenario,
     )
 
 
@@ -205,6 +245,13 @@ class SweepExecutor:
     The store is consulted and written only from the coordinating
     process, so a single JSONL file stays consistent under any worker
     count; workers receive pickled points and return pickled results.
+
+    The worker pool is created lazily on the first parallel batch and
+    **kept alive across batches**: many-small-batch callers (the figure
+    functions fetch one curve at a time) no longer pay process startup
+    per batch. Call :meth:`close` — or use the executor as a context
+    manager — to release the pool deterministically; a dropped executor
+    closes it on garbage collection.
     """
 
     def __init__(
@@ -225,6 +272,39 @@ class SweepExecutor:
         # point of a bandwidth set; memoize it rather than re-hashing
         # per point.
         self._config_cache: Dict[int, Tuple[SystemConfig, str]] = {}
+        # Scenario fingerprints are a schedule build + hash; memoize per
+        # (name, total_cycles) since every point of a grid repeats them.
+        self._scenario_digests: Dict[Tuple[str, int], str] = {}
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # -- worker-pool lifecycle ---------------------------------------------
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (safe to call repeatedly).
+
+        The executor stays usable: the next parallel batch lazily
+        spawns a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _config_for(self, bw_set_index: int) -> SystemConfig:
         return self._config_entry(bw_set_index)[0]
@@ -241,6 +321,16 @@ class SweepExecutor:
             self._config_cache[bw_set_index] = entry
         return entry
 
+    def _scenario_digest(self, scenario: str, fidelity: Fidelity) -> str:
+        cache_key = (scenario, fidelity.total_cycles)
+        digest = self._scenario_digests.get(cache_key)
+        if digest is None:
+            from repro.scenarios.library import build_scenario
+
+            digest = build_scenario(scenario, fidelity.total_cycles).fingerprint()
+            self._scenario_digests[cache_key] = digest
+        return digest
+
     def _key(self, point: RunPoint, fidelity: Fidelity) -> str:
         _config, digest = self._config_entry(point.bw_set_index)
         return result_key(
@@ -252,6 +342,12 @@ class SweepExecutor:
             fidelity,
             config_digest=digest,
             bw_set=point.bw_set,
+            scenario=point.scenario,
+            scenario_digest=(
+                self._scenario_digest(point.scenario, fidelity)
+                if point.scenario is not None
+                else None
+            ),
         )
 
     def run_points(
@@ -275,8 +371,9 @@ class SweepExecutor:
                 (p, fidelity, self._config_for(p.bw_set_index)) for _i, p in missing
             ]
             if self.workers > 1 and len(missing) > 1:
-                with multiprocessing.Pool(self.workers) as pool:
-                    outcomes = pool.map(_execute_point, payloads, chunksize=1)
+                outcomes = self._ensure_pool().map(
+                    _execute_point, payloads, chunksize=1
+                )
             else:
                 outcomes = [_execute_point(p) for p in payloads]
             for (i, _p), result in zip(missing, outcomes):
@@ -300,6 +397,7 @@ class SweepExecutor:
         fidelity: Fidelity,
         seed: int = 1,
         derive_seeds: bool = False,
+        scenario: Optional[str] = None,
     ) -> List[RunResult]:
         """One load curve (legacy ``saturation_sweep`` semantics by default)."""
         spec = SweepSpec(
@@ -309,14 +407,17 @@ class SweepExecutor:
             seeds=(seed,),
             fidelity=fidelity,
             derive_seeds=derive_seeds,
+            scenarios=(scenario,),
         )
         return self.run(spec)
 
-    def peaks(self, spec: SweepSpec) -> Dict[Tuple[str, int, str, int], RunResult]:
+    def peaks(
+        self, spec: SweepSpec
+    ) -> Dict[Tuple[str, int, str, Optional[str], int], RunResult]:
         """Per-curve saturation peaks, keyed by ``RunPoint.curve``."""
         points = spec.expand()
         results = self.run_points(points, spec.fidelity)
-        curves: Dict[Tuple[str, int, str, int], List[RunResult]] = {}
+        curves: Dict[Tuple[str, int, str, Optional[str], int], List[RunResult]] = {}
         for point, result in zip(points, results):
             curves.setdefault(point.curve, []).append(result)
         return {curve: peak_of(rs) for curve, rs in curves.items()}
@@ -364,6 +465,7 @@ class ReplicatedPeak:
     energy_per_message_pj: MetricSummary
     mean_latency_cycles: MetricSummary
     seeds: Tuple[int, ...] = field(default_factory=tuple)
+    scenario: Optional[str] = None
 
 
 def replication_summary(
@@ -372,35 +474,41 @@ def replication_summary(
     """Run *spec* and fold per-seed peaks into mean +/- spread rows.
 
     The grouping collapses the seed axis only: one row per
-    (arch, bw set, pattern), ordered like the spec's axes.
+    (arch, bw set, pattern, scenario), ordered like the spec's axes.
     """
     executor = executor or SweepExecutor()
     peaks = executor.peaks(spec)
-    grouped: Dict[Tuple[str, int, str], List[Tuple[int, RunResult]]] = {}
-    for (arch, bw_index, pattern, base_seed), peak in peaks.items():
-        grouped.setdefault((arch, bw_index, pattern), []).append((base_seed, peak))
+    grouped: Dict[
+        Tuple[str, int, str, Optional[str]], List[Tuple[int, RunResult]]
+    ] = {}
+    for (arch, bw_index, pattern, scenario, base_seed), peak in peaks.items():
+        grouped.setdefault((arch, bw_index, pattern, scenario), []).append(
+            (base_seed, peak)
+        )
     out = []
     for arch in spec.archs:
         for bw_index in spec.bw_set_indices:
             for pattern in spec.patterns:
-                entries = grouped[(arch, bw_index, pattern)]
-                seeds = tuple(s for s, _r in entries)
-                rs = [r for _s, r in entries]
-                out.append(
-                    ReplicatedPeak(
-                        arch=arch,
-                        bw_set_index=bw_index,
-                        pattern=pattern,
-                        delivered_gbps=summarize_metric(
-                            [r.delivered_gbps for r in rs]
-                        ),
-                        energy_per_message_pj=summarize_metric(
-                            [r.energy_per_message_pj for r in rs]
-                        ),
-                        mean_latency_cycles=summarize_metric(
-                            [r.mean_latency_cycles for r in rs]
-                        ),
-                        seeds=seeds,
+                for scenario in spec.scenarios:
+                    entries = grouped[(arch, bw_index, pattern, scenario)]
+                    seeds = tuple(s for s, _r in entries)
+                    rs = [r for _s, r in entries]
+                    out.append(
+                        ReplicatedPeak(
+                            arch=arch,
+                            bw_set_index=bw_index,
+                            pattern=pattern,
+                            delivered_gbps=summarize_metric(
+                                [r.delivered_gbps for r in rs]
+                            ),
+                            energy_per_message_pj=summarize_metric(
+                                [r.energy_per_message_pj for r in rs]
+                            ),
+                            mean_latency_cycles=summarize_metric(
+                                [r.mean_latency_cycles for r in rs]
+                            ),
+                            seeds=seeds,
+                            scenario=scenario,
+                        )
                     )
-                )
     return out

@@ -1,0 +1,51 @@
+"""Scenario engine: time-varying, scriptable workloads.
+
+* :mod:`repro.scenarios.schedule` — the declarative script objects
+  (phases, load modulators, fault events) and their content hashing;
+* :mod:`repro.scenarios.library` — the registry of named, built-in
+  scenarios (``steady``, ``bursty_uniform``, ``diurnal``,
+  ``hotspot_drift``, ``app_phases``, ``load_spike``, ``fault_storm``);
+* :mod:`repro.scenarios.player` — the runtime that replays a schedule
+  into a simulation, deterministically.
+"""
+
+from repro.scenarios.library import (
+    build_scenario,
+    describe_scenario,
+    register_scenario,
+    scenario_catalog,
+    scenario_names,
+)
+from repro.scenarios.player import ScenarioPlayer, initial_pattern
+from repro.scenarios.schedule import (
+    BurstLoad,
+    FaultEvent,
+    LoadModulator,
+    Phase,
+    PhaseStats,
+    RampLoad,
+    ScenarioError,
+    ScenarioSchedule,
+    SinusoidLoad,
+    StepLoad,
+)
+
+__all__ = [
+    "BurstLoad",
+    "FaultEvent",
+    "LoadModulator",
+    "Phase",
+    "PhaseStats",
+    "RampLoad",
+    "ScenarioError",
+    "ScenarioPlayer",
+    "ScenarioSchedule",
+    "SinusoidLoad",
+    "StepLoad",
+    "build_scenario",
+    "describe_scenario",
+    "initial_pattern",
+    "register_scenario",
+    "scenario_catalog",
+    "scenario_names",
+]

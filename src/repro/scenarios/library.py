@@ -1,0 +1,258 @@
+"""The built-in scenario library.
+
+Each entry is a *builder*: ``build(total_cycles) -> ScenarioSchedule``.
+Builders are parameterised by the run length so one named scenario keeps
+its shape across fidelities (phase boundaries scale with the schedule;
+a ``quick`` 1 500-cycle run and a ``paper`` 10 000-cycle run both see
+four drift phases, bursts of proportionate width, and so on). The sweep
+layer ships only the *name* to worker processes and rebuilds the
+schedule there, so a scenario is exactly as picklable as a string and
+its identity is the rebuilt schedule's content fingerprint.
+
+The library mirrors the idiom of the v2x exemplar (named scenario types
+mixing bursts, diffusion and low-load phases over a fixed substrate),
+instantiated for this reproduction's substrate:
+
+========================  ==================================================
+``steady``                today's behaviour, bit-for-bit (regression anchor)
+``bursty_uniform``        uniform pattern under an MMPP on/off burst process
+``diurnal``               sinusoidal load swing (day/night demand)
+``hotspot_drift``         a hotspot that migrates across clusters mid-run
+``app_phases``            the GPU app mix cycles through execution phases
+``load_spike``            quiet -> overload spike -> ramped recovery
+``fault_storm``           wavelength deaths, a token freeze/thaw, blackouts
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.scenarios.schedule import (
+    BurstLoad,
+    FaultEvent,
+    Phase,
+    RampLoad,
+    ScenarioError,
+    ScenarioSchedule,
+    SinusoidLoad,
+    StepLoad,
+)
+
+#: name -> (description, builder)
+_BUILDERS: Dict[str, Tuple[str, Callable[[int], ScenarioSchedule]]] = {}
+
+
+def register_scenario(
+    name: str, description: str
+) -> Callable[[Callable[[int], ScenarioSchedule]], Callable[[int], ScenarioSchedule]]:
+    """Decorator adding a builder to the library registry."""
+
+    def wrap(builder: Callable[[int], ScenarioSchedule]):
+        if name in _BUILDERS:
+            raise ScenarioError(f"scenario {name!r} already registered")
+        _BUILDERS[name] = (description, builder)
+        return builder
+
+    return wrap
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(_BUILDERS))
+
+
+def describe_scenario(name: str) -> str:
+    if name not in _BUILDERS:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return _BUILDERS[name][0]
+
+
+def build_scenario(name: str, total_cycles: int) -> ScenarioSchedule:
+    """Build the named scenario for a run of ``total_cycles`` cycles."""
+    if total_cycles <= 0:
+        raise ScenarioError("total_cycles must be positive")
+    if name not in _BUILDERS:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return _BUILDERS[name][1](total_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+@register_scenario(
+    "steady",
+    "Stationary baseline: the run's own (pattern, load), held constant. "
+    "Reproduces a scenario-less run bit-for-bit.",
+)
+def _steady(total_cycles: int) -> ScenarioSchedule:
+    return ScenarioSchedule(
+        "steady",
+        (Phase(start_cycle=0),),
+        description=_BUILDERS["steady"][0],
+    )
+
+
+@register_scenario(
+    "bursty_uniform",
+    "Uniform-random traffic whose offered load follows a two-state MMPP: "
+    "long quiet stretches (35% load) broken by bursts at 150%.",
+)
+def _bursty_uniform(total_cycles: int) -> ScenarioSchedule:
+    return ScenarioSchedule(
+        "bursty_uniform",
+        (
+            Phase(
+                start_cycle=0,
+                pattern="uniform",
+                modulator=BurstLoad(
+                    on_scale=1.5,
+                    off_scale=0.35,
+                    mean_on_cycles=max(20.0, total_cycles / 12),
+                    mean_off_cycles=max(40.0, total_cycles / 8),
+                ),
+            ),
+        ),
+        description=_BUILDERS["bursty_uniform"][0],
+    )
+
+
+@register_scenario(
+    "diurnal",
+    "Sinusoidal demand swing around the offered load (two full periods "
+    "per run) — the day/night cycle of a shared interconnect.",
+)
+def _diurnal(total_cycles: int) -> ScenarioSchedule:
+    return ScenarioSchedule(
+        "diurnal",
+        (
+            Phase(
+                start_cycle=0,
+                modulator=SinusoidLoad(
+                    base_scale=0.9,
+                    amplitude=0.45,
+                    period_cycles=max(50.0, total_cycles / 2),
+                ),
+            ),
+        ),
+        description=_BUILDERS["diurnal"][0],
+    )
+
+
+@register_scenario(
+    "hotspot_drift",
+    "A 10% hotspot (over skewed-2 background) that migrates to a new "
+    "cluster each quarter of the run while the heterogeneous placement "
+    "stays fixed — the regime where DBA must chase demand.",
+)
+def _hotspot_drift(total_cycles: int) -> ScenarioSchedule:
+    quarter = max(1, total_cycles // 4)
+    # One hotspot core per quarter, each in a different cluster
+    # (cores_per_cluster=4: cores 2, 18, 34, 50 live in clusters 0, 4,
+    # 8, 12), diagonally across the chip.
+    hotspot_cores = (2, 18, 34, 50)
+    phases = tuple(
+        Phase(
+            start_cycle=i * quarter,
+            pattern="skewed_hotspot1",
+            hotspot_core=core,
+            placement_key="drift",
+        )
+        for i, core in enumerate(hotspot_cores)
+    )
+    return ScenarioSchedule(
+        "hotspot_drift", phases, description=_BUILDERS["hotspot_drift"][0]
+    )
+
+
+@register_scenario(
+    "app_phases",
+    "The real-application GPU mix moves through execution phases: "
+    "balanced profile, then a memory-bound burst (MUM/BFS dominate), "
+    "then a compute phase where the light apps pick up.",
+)
+def _app_phases(total_cycles: int) -> ScenarioSchedule:
+    third = max(1, total_cycles // 3)
+    return ScenarioSchedule(
+        "app_phases",
+        (
+            Phase(start_cycle=0, pattern="real_app", placement_key="apps"),
+            Phase(
+                start_cycle=third,
+                pattern="real_app",
+                placement_key="apps",
+                app_mix={"MUM": 1.6, "BFS": 1.5, "LPS": 0.5, "CP": 0.5, "RAY": 0.5},
+            ),
+            Phase(
+                start_cycle=2 * third,
+                pattern="real_app",
+                placement_key="apps",
+                app_mix={"MUM": 0.5, "BFS": 0.6, "LPS": 1.8, "CP": 1.6, "RAY": 1.6},
+            ),
+        ),
+        description=_BUILDERS["app_phases"][0],
+    )
+
+
+@register_scenario(
+    "load_spike",
+    "Quiet start (55% load), a sudden overload spike (160%), then a "
+    "linear recovery ramp back to 80% — saturation entry and exit in "
+    "one run.",
+)
+def _load_spike(total_cycles: int) -> ScenarioSchedule:
+    third = max(1, total_cycles // 3)
+    return ScenarioSchedule(
+        "load_spike",
+        (
+            Phase(start_cycle=0, modulator=StepLoad(0.55)),
+            Phase(start_cycle=third, modulator=StepLoad(1.6)),
+            Phase(start_cycle=2 * third, modulator=RampLoad(1.6, 0.8)),
+        ),
+        description=_BUILDERS["load_spike"][0],
+    )
+
+
+@register_scenario(
+    "fault_storm",
+    "Skewed-3 traffic through an escalating fault script: wavelength "
+    "deaths on the two hottest-class clusters, a control-token freeze "
+    "and thaw, and a receiver blackout — the robustness story end to "
+    "end.",
+)
+def _fault_storm(total_cycles: int) -> ScenarioSchedule:
+    half = max(1, total_cycles // 2)
+    window = total_cycles - half
+    return ScenarioSchedule(
+        "fault_storm",
+        (
+            Phase(start_cycle=0, pattern="skewed3", placement_key="storm"),
+            Phase(
+                start_cycle=half,
+                pattern=None,  # keep the phase-0 pattern and placement
+                faults=(
+                    FaultEvent(at_cycle=0, action="kill_wavelengths",
+                               cluster=0, count=2),
+                    FaultEvent(at_cycle=max(1, window // 8),
+                               action="kill_wavelengths", cluster=1, count=2),
+                    FaultEvent(at_cycle=max(2, window // 4),
+                               action="freeze_token"),
+                    FaultEvent(at_cycle=max(3, window // 2),
+                               action="thaw_token"),
+                    FaultEvent(at_cycle=max(4, (5 * window) // 8),
+                               action="blackout_receiver", cluster=2,
+                               duration_cycles=max(1, window // 8)),
+                ),
+            ),
+        ),
+        description=_BUILDERS["fault_storm"][0],
+    )
+
+
+def scenario_catalog() -> List[Tuple[str, str]]:
+    """``(name, description)`` rows for CLI/report listings."""
+    return [(name, _BUILDERS[name][0]) for name in scenario_names()]

@@ -1,0 +1,409 @@
+"""Runtime execution of a :class:`ScenarioSchedule` against a NoC.
+
+The :class:`ScenarioPlayer` stands in for a plain
+:class:`~repro.traffic.generator.TrafficGenerator` (same duck-typed
+interface: ``tick`` / ``reset_stats`` / ``acceptance_ratio`` /
+``packets_offered`` ...), so ``PhotonicCrossbarNoC.attach_generator``
+accepts it unchanged. Each cycle it
+
+1. crosses any due phase boundary — rebinding the traffic pattern,
+   re-applying DBA demand, shifting the app mix,
+2. fires scripted faults whose cycle has come,
+3. applies the phase's load scale / modulator to the live generator,
+4. delegates injection to the generator.
+
+Determinism contract
+--------------------
+Every random draw goes through named :class:`~repro.sim.rng.RandomStreams`
+streams derived from the run's master seed:
+
+* ``traffic`` — injection coin flips and destination picks, shared with
+  the legacy path and *never* consumed by scenario machinery;
+* ``scenario`` — modulator state (MMPP dwell times) only;
+* per-phase placement streams — fresh ``random.Random`` instances seeded
+  from ``(master, "scenario-placement:<key>")``, so a phase's placement
+  depends only on its key, never on execution history, and phases
+  sharing a key place clusters identically.
+
+Consequently a schedule whose first phase changes nothing (the
+``steady`` scenario) drives the simulation bit-identically to a
+scenario-less run, and serial/parallel sweep execution agree bitwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.stats import window_mean
+from repro.scenarios.schedule import (
+    FaultEvent,
+    Phase,
+    PhaseStats,
+    ScenarioError,
+    ScenarioSchedule,
+)
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.patterns import TrafficPattern, pattern_by_name
+
+
+def _placement_rng(
+    streams: RandomStreams, phase: Phase, phase_index: int
+) -> random.Random:
+    """The placement stream for one phase's pattern rebind.
+
+    Phase 0 without an explicit key uses the run's shared ``placement``
+    stream — the legacy path, preserving bit-identity for schedules that
+    never rebind. Keyed (or later) phases get a fresh stream derived
+    from the key alone, so placements are reproducible and key-sharing
+    phases shuffle identically.
+    """
+    if phase_index == 0 and phase.placement_key is None:
+        return streams.get("placement")
+    key = phase.placement_key if phase.placement_key is not None else str(phase_index)
+    return random.Random(derive_seed(streams.master_seed, f"scenario-placement:{key}"))
+
+
+def build_phase_pattern(
+    phase: Phase,
+    phase_index: int,
+    default_pattern: str,
+    bw_set,
+    n_clusters: int,
+    cores_per_cluster: int,
+    streams: RandomStreams,
+) -> TrafficPattern:
+    """Instantiate, specialise and bind the pattern a phase calls for."""
+    name = phase.pattern if phase.pattern is not None else default_pattern
+    pattern = pattern_by_name(name)
+    if phase.hotspot_core is not None:
+        if not hasattr(pattern, "hotspot_core"):
+            raise ScenarioError(
+                f"phase {phase_index}: pattern {name!r} has no hotspot to move"
+            )
+        pattern.hotspot_core = phase.hotspot_core
+    pattern.bind(
+        bw_set, n_clusters, cores_per_cluster, _placement_rng(streams, phase, phase_index)
+    )
+    if phase.app_mix is not None:
+        if not hasattr(pattern, "scale_intensities"):
+            raise ScenarioError(
+                f"phase {phase_index}: pattern {name!r} has no app mix to shift"
+            )
+        pattern.scale_intensities(dict(phase.app_mix))
+    return pattern
+
+
+def initial_pattern(
+    schedule: ScenarioSchedule,
+    default_pattern: str,
+    bw_set,
+    n_clusters: int,
+    cores_per_cluster: int,
+    streams: RandomStreams,
+) -> TrafficPattern:
+    """Phase-0 pattern, built before the architecture (demand init)."""
+    return build_phase_pattern(
+        schedule.phases[0], 0, default_pattern, bw_set,
+        n_clusters, cores_per_cluster, streams,
+    )
+
+
+class ScenarioPlayer:
+    """Replays a :class:`ScenarioSchedule` as the run's traffic source.
+
+    Parameters
+    ----------
+    schedule:
+        The validated scenario script.
+    noc:
+        The architecture under test; provides ``submit``, ``metrics``
+        and (for d-HetPNoC) ``apply_pattern_demand``/``controllers``.
+    pattern:
+        The already-bound phase-0 pattern (from :func:`initial_pattern`)
+        — the same object the architecture's demand tables were
+        initialised from.
+    offered_gbps:
+        Base aggregate offered bandwidth; phase scales multiply it.
+    streams:
+        The run's random streams (see module docstring).
+    total_cycles:
+        Length of the run; fixes the final phase's window end.
+    """
+
+    def __init__(
+        self,
+        schedule: ScenarioSchedule,
+        noc,
+        pattern: TrafficPattern,
+        offered_gbps: float,
+        streams: RandomStreams,
+        total_cycles: int,
+        clock_hz: float = 2.5e9,
+    ) -> None:
+        self.schedule = schedule
+        self.noc = noc
+        self.streams = streams
+        self.clock_hz = clock_hz
+        self.offered_gbps = offered_gbps
+        self.default_pattern_name = pattern.name
+        self._bounds = schedule.phase_bounds(total_cycles)
+        self._packets_per_cycle = (
+            offered_gbps * 1e9 / pattern.bw_set.packet_bits / clock_hz
+        )
+        self._traffic_rng = streams.get("traffic")
+        self._scenario_rng = streams.get("scenario")
+        self.pattern = pattern
+        self.generator = TrafficGenerator(
+            pattern, self._packets_per_cycle, self._traffic_rng, noc.submit
+        )
+        # Retired generators' counters (phase rebinds swap generators).
+        self._offered_acc = 0
+        self._accepted_acc = 0
+        self._refused_acc = 0
+        self._bits_offered_acc = 0
+        self.faults_fired = 0
+        self.faults_skipped = 0
+        self._injector = None
+        self._phase_idx = 0
+        self._current_cycle = 0
+        self._ticked = False
+        self._closed: List[PhaseStats] = []
+        self._finished = False
+        self._arm_phase(0, enter_cycle=0, rebind=False)
+
+    # ------------------------------------------------------------------
+    # Phase machinery
+    # ------------------------------------------------------------------
+    def _arm_phase(self, index: int, enter_cycle: int, rebind: bool) -> None:
+        start, end, phase = self._bounds[index]
+        self._phase_idx = index
+        self._phase_start = start
+        self._phase_end = end
+        self._phase_faults: Tuple[FaultEvent, ...] = tuple(
+            sorted(phase.faults, key=lambda f: f.at_cycle)
+        )
+        self._fault_cursor = 0
+        self._phase_faults_fired = 0
+        self._modulator_runtime: Optional[Callable[[int, int], float]] = (
+            phase.modulator.runtime(self._scenario_rng) if phase.modulator else None
+        )
+        self._base_scale = phase.load_scale
+        if rebind and (
+            phase.pattern is not None
+            or phase.app_mix is not None
+            or phase.hotspot_core is not None
+        ):
+            self._rebind(phase, index)
+        self._window = self._snapshot(enter_cycle)
+
+    def _rebind(self, phase: Phase, index: int) -> None:
+        """Swap in the phase's pattern (and demand tables) mid-run."""
+        if phase.pattern is not None:
+            pattern = build_phase_pattern(
+                phase, index, self.default_pattern_name,
+                self.pattern.bw_set, self.pattern.n_clusters,
+                self.pattern.cores_per_cluster, self.streams,
+            )
+        else:
+            # Same pattern object; apply the phase's in-place tweaks.
+            pattern = self.pattern
+            if phase.hotspot_core is not None:
+                if not hasattr(pattern, "hotspot_core"):
+                    raise ScenarioError(
+                        f"phase {index}: pattern {pattern.name!r} has no "
+                        "hotspot to move"
+                    )
+                pattern.hotspot_core = phase.hotspot_core
+            if phase.app_mix is not None:
+                if not hasattr(pattern, "scale_intensities"):
+                    raise ScenarioError(
+                        f"phase {index}: pattern {pattern.name!r} has no "
+                        "app mix to shift"
+                    )
+                pattern.scale_intensities(dict(phase.app_mix))
+        if hasattr(self.noc, "apply_pattern_demand"):
+            # New demand tables take effect at upcoming token visits —
+            # the thesis's task-remapping rule (section 3.2.1).
+            self.noc.apply_pattern_demand(pattern)
+        generator = self.generator
+        self._offered_acc += generator.packets_offered
+        self._accepted_acc += generator.packets_accepted
+        self._refused_acc += generator.packets_refused
+        self._bits_offered_acc += generator.bits_offered
+        self.pattern = pattern
+        self.generator = TrafficGenerator(
+            pattern, self._packets_per_cycle, self._traffic_rng, self.noc.submit
+        )
+
+    def _snapshot(self, cycle: int) -> dict:
+        metrics = self.noc.metrics
+        return {
+            "cycle": cycle,
+            "bits": metrics.bits_delivered,
+            "packets": metrics.packets_delivered,
+            "lat_count": metrics.latency.count,
+            "lat_mean": metrics.latency.mean,
+            "offered": self.packets_offered,
+            "refused": self.packets_refused,
+        }
+
+    def _close_window(self, at_cycle: int) -> None:
+        phase = self._bounds[self._phase_idx][2]
+        base = self._window
+        metrics = self.noc.metrics
+        measured = max(0, at_cycle - base["cycle"])
+        bits = metrics.bits_delivered - base["bits"]
+        gbps = (
+            bits * self.clock_hz / measured / 1e9 if measured > 0 else 0.0
+        )
+        self._closed.append(
+            PhaseStats(
+                index=self._phase_idx,
+                pattern=self.pattern.name,
+                start_cycle=self._phase_start,
+                end_cycle=at_cycle,
+                measured_cycles=measured,
+                packets_offered=self.packets_offered - base["offered"],
+                packets_refused=self.packets_refused - base["refused"],
+                packets_delivered=metrics.packets_delivered - base["packets"],
+                bits_delivered=bits,
+                delivered_gbps=gbps,
+                mean_latency_cycles=window_mean(
+                    base["lat_count"], base["lat_mean"],
+                    metrics.latency.count, metrics.latency.mean,
+                ),
+                faults_fired=self._phase_faults_fired,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def _apply_fault(self, event: FaultEvent) -> None:
+        from repro.arch.faults import FaultError, FaultInjector
+
+        needs_dba = event.action in ("kill_wavelengths", "freeze_token", "thaw_token")
+        if needs_dba and not hasattr(self.noc, "controllers"):
+            # Firefly has no DBA plane to break; the blackout still applies.
+            self.faults_skipped += 1
+            return
+        if self._injector is None:
+            self._injector = FaultInjector(self.noc)
+        try:
+            if event.action == "kill_wavelengths":
+                self._injector.kill_wavelengths(
+                    event.cluster, event.count, clamp=True
+                )
+            elif event.action == "freeze_token":
+                self._injector.freeze_token()
+            elif event.action == "thaw_token":
+                self._injector.thaw_token()
+            elif event.action == "blackout_receiver":
+                self._injector.blackout_receiver(
+                    event.cluster, event.duration_cycles
+                )
+        except FaultError:
+            self.faults_skipped += 1
+            return
+        self.faults_fired += 1
+        self._phase_faults_fired += 1
+
+    # ------------------------------------------------------------------
+    # Generator interface (duck-typed against TrafficGenerator)
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._current_cycle = cycle
+        self._ticked = True
+        while (
+            self._phase_idx + 1 < len(self._bounds)
+            and cycle >= self._bounds[self._phase_idx + 1][0]
+        ):
+            self._close_window(cycle)
+            self._arm_phase(self._phase_idx + 1, enter_cycle=cycle, rebind=True)
+        offset = cycle - self._phase_start
+        while (
+            self._fault_cursor < len(self._phase_faults)
+            and self._phase_faults[self._fault_cursor].at_cycle <= offset
+        ):
+            self._apply_fault(self._phase_faults[self._fault_cursor])
+            self._fault_cursor += 1
+        scale = self._base_scale
+        if self._modulator_runtime is not None:
+            scale *= self._modulator_runtime(
+                offset, self._phase_end - self._phase_start
+            )
+        self.generator.set_scale(scale)
+        self.generator.tick(cycle)
+
+    def reset_stats(self) -> None:
+        """Warm-up reset: drop counters and re-base the open window.
+
+        Phase windows that already closed lie entirely inside the
+        discarded warm-up, so their measurements are zeroed too (the
+        phase boundaries and fault history are kept): per-phase stats
+        always tile the run's *measured* totals.
+        """
+        self.generator.reset_stats()
+        self._offered_acc = 0
+        self._accepted_acc = 0
+        self._refused_acc = 0
+        self._bits_offered_acc = 0
+        self._closed = [
+            dataclasses.replace(
+                stats,
+                measured_cycles=0,
+                packets_offered=0,
+                packets_refused=0,
+                packets_delivered=0,
+                bits_delivered=0,
+                delivered_gbps=0.0,
+                mean_latency_cycles=0.0,
+            )
+            for stats in self._closed
+        ]
+        # The reset fires after the last warm-up cycle's tick — or, for
+        # a zero-cycle warm-up, before the first tick ever runs.
+        self._window = self._snapshot(
+            self._current_cycle + 1 if self._ticked else 0
+        )
+
+    def finish(self, end_cycle: Optional[int] = None) -> None:
+        """Close the final phase window (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._close_window(
+            end_cycle if end_cycle is not None else self._phase_end
+        )
+
+    def phase_stats(self) -> Tuple[PhaseStats, ...]:
+        if not self._finished:
+            raise ScenarioError("call finish() before reading phase stats")
+        return tuple(self._closed)
+
+    # -- cumulative counters across generator swaps ---------------------
+    @property
+    def packets_offered(self) -> int:
+        return self._offered_acc + self.generator.packets_offered
+
+    @property
+    def packets_accepted(self) -> int:
+        return self._accepted_acc + self.generator.packets_accepted
+
+    @property
+    def packets_refused(self) -> int:
+        return self._refused_acc + self.generator.packets_refused
+
+    @property
+    def bits_offered(self) -> int:
+        return self._bits_offered_acc + self.generator.bits_offered
+
+    @property
+    def acceptance_ratio(self) -> float:
+        offered = self.packets_offered
+        if offered == 0:
+            return 1.0
+        return self.packets_accepted / offered

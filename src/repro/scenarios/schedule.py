@@ -1,0 +1,376 @@
+"""Declarative, time-varying workload scripts.
+
+A :class:`ScenarioSchedule` turns a simulation run from "(pattern, load)
+held constant" into a scripted timeline of demand: an ordered list of
+:class:`Phase`\\ s, each of which may rebind the traffic pattern, rescale
+the offered load (optionally through a cycle-varying
+:class:`LoadModulator`), shift the GPU application mix, and fire scripted
+:class:`FaultEvent`\\ s. The schedule itself is pure data — no simulator
+state, no randomness — so it can be
+
+* hashed (:meth:`ScenarioSchedule.fingerprint`) into the result store's
+  content key, making scenario identity part of a run's identity, and
+* pickled by name across the sweep worker pool and rebuilt identically
+  on the far side (see :mod:`repro.scenarios.library`).
+
+All runtime behaviour (RNG draws for bursty modulators, pattern
+rebinding, fault injection) lives in :class:`repro.scenarios.player.
+ScenarioPlayer`; the only stateful objects here are the per-run
+modulator *runtimes* returned by :meth:`LoadModulator.runtime`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class ScenarioError(ValueError):
+    """Raised for invalid scenario scripts."""
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Load modulators
+# ---------------------------------------------------------------------------
+
+class LoadModulator:
+    """Base class: a declarative description of a load-scale waveform.
+
+    Subclasses are frozen dataclasses. :meth:`runtime` returns a fresh,
+    possibly stateful ``(cycle_in_phase, phase_cycles) -> scale``
+    callable for one run; stochastic modulators draw exclusively from
+    the ``rng`` handed in (the player's dedicated ``scenario`` stream),
+    never from the traffic stream, so adding a modulator can never
+    perturb destination or injection draws.
+    """
+
+    kind = "base"
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        data.update(dataclasses_asdict_shallow(self))
+        return data
+
+
+def dataclasses_asdict_shallow(obj) -> dict:
+    """``dataclasses.asdict`` without recursion (fields are scalars here)."""
+    import dataclasses
+
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+@dataclass(frozen=True)
+class StepLoad(LoadModulator):
+    """Constant scale for the whole phase (the trivial modulator)."""
+
+    scale: float = 1.0
+    kind = "step"
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ScenarioError("step scale must be >= 0")
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        scale = self.scale
+        return lambda _t, _n: scale
+
+
+@dataclass(frozen=True)
+class RampLoad(LoadModulator):
+    """Linear ramp from ``start_scale`` to ``end_scale`` over the phase."""
+
+    start_scale: float
+    end_scale: float
+    kind = "ramp"
+
+    def __post_init__(self) -> None:
+        if self.start_scale < 0 or self.end_scale < 0:
+            raise ScenarioError("ramp scales must be >= 0")
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        lo, hi = self.start_scale, self.end_scale
+
+        def scale(t: int, n: int) -> float:
+            if n <= 1:
+                return hi
+            return lo + (hi - lo) * (t / (n - 1))
+
+        return scale
+
+
+@dataclass(frozen=True)
+class BurstLoad(LoadModulator):
+    """Two-state MMPP on/off burst process.
+
+    The phase alternates between an *on* state (scale ``on_scale``) and
+    an *off* state (scale ``off_scale``); dwell times are exponential
+    with the given means, drawn from the scenario RNG stream. The first
+    state is *off*, so a burst never lands on cycle 0 deterministically.
+    """
+
+    on_scale: float = 1.5
+    off_scale: float = 0.3
+    mean_on_cycles: float = 200.0
+    mean_off_cycles: float = 400.0
+    kind = "burst"
+
+    def __post_init__(self) -> None:
+        if min(self.on_scale, self.off_scale) < 0:
+            raise ScenarioError("burst scales must be >= 0")
+        if min(self.mean_on_cycles, self.mean_off_cycles) <= 0:
+            raise ScenarioError("burst dwell means must be positive")
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        state = {"on": False, "until": rng.expovariate(1.0 / self.mean_off_cycles)}
+
+        def scale(t: int, _n: int) -> float:
+            while t >= state["until"]:
+                state["on"] = not state["on"]
+                mean = self.mean_on_cycles if state["on"] else self.mean_off_cycles
+                state["until"] += max(1.0, rng.expovariate(1.0 / mean))
+            return self.on_scale if state["on"] else self.off_scale
+
+        return scale
+
+
+@dataclass(frozen=True)
+class SinusoidLoad(LoadModulator):
+    """Sinusoidal (diurnal-style) swing around a base scale."""
+
+    base_scale: float = 1.0
+    amplitude: float = 0.5
+    period_cycles: float = 1000.0
+    phase_frac: float = 0.0
+    kind = "sinusoid"
+
+    def __post_init__(self) -> None:
+        if self.period_cycles <= 0:
+            raise ScenarioError("sinusoid period must be positive")
+        if self.amplitude < 0 or self.base_scale < 0:
+            raise ScenarioError("sinusoid base/amplitude must be >= 0")
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        def scale(t: int, _n: int) -> float:
+            angle = 2.0 * math.pi * (t / self.period_cycles + self.phase_frac)
+            return max(0.0, self.base_scale + self.amplitude * math.sin(angle))
+
+        return scale
+
+
+_MODULATOR_KINDS = {
+    cls.kind: cls for cls in (StepLoad, RampLoad, BurstLoad, SinusoidLoad)
+}
+
+
+def modulator_from_dict(data: dict) -> LoadModulator:
+    """Inverse of :meth:`LoadModulator.to_dict`."""
+    kind = data.get("kind")
+    if kind not in _MODULATOR_KINDS:
+        raise ScenarioError(f"unknown modulator kind {kind!r}")
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    return _MODULATOR_KINDS[kind](**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Fault events
+# ---------------------------------------------------------------------------
+
+#: Scripted actions the player can drive through the fault injector.
+FAULT_ACTIONS = (
+    "kill_wavelengths",
+    "freeze_token",
+    "thaw_token",
+    "blackout_receiver",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault, fired ``at_cycle`` cycles into its phase.
+
+    ``cluster``/``count``/``duration_cycles`` are interpreted per action
+    (kill: cluster+count; blackout: cluster+duration; token freeze/thaw
+    ignore all three).
+    """
+
+    at_cycle: int
+    action: str
+    cluster: int = 0
+    count: int = 1
+    duration_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_cycle < 0:
+            raise ScenarioError("fault at_cycle must be >= 0")
+        if self.action not in FAULT_ACTIONS:
+            raise ScenarioError(
+                f"unknown fault action {self.action!r}; use one of {FAULT_ACTIONS}"
+            )
+        if self.action == "blackout_receiver" and self.duration_cycles <= 0:
+            raise ScenarioError("blackout needs a positive duration")
+        if self.action == "kill_wavelengths" and self.count <= 0:
+            raise ScenarioError("kill needs a positive count")
+
+    def to_dict(self) -> dict:
+        return {
+            "at_cycle": self.at_cycle,
+            "action": self.action,
+            "cluster": self.cluster,
+            "count": self.count,
+            "duration_cycles": self.duration_cycles,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Phases and schedules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the scripted timeline.
+
+    ``pattern=None`` keeps the run's base pattern (and, in phase 0, the
+    base placement stream — the property that makes the ``steady``
+    scenario bit-identical to a scenario-less run); ``hotspot_core`` and
+    ``app_mix`` still apply in place to the kept pattern.
+    ``placement_key`` pins the placement RNG of a rebound pattern:
+    phases sharing a key shuffle clusters identically, so e.g. a
+    drifting hotspot moves over a *fixed* heterogeneous placement
+    instead of reshuffling the chip. Placement only happens when a
+    pattern is (re)bound, so a key on a ``pattern=None`` phase after
+    phase 0 has no effect.
+    """
+
+    start_cycle: int
+    pattern: Optional[str] = None
+    load_scale: float = 1.0
+    modulator: Optional[LoadModulator] = None
+    app_mix: Optional[Dict[str, float]] = None
+    faults: Tuple[FaultEvent, ...] = ()
+    hotspot_core: Optional[int] = None
+    placement_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ScenarioError("phase start_cycle must be >= 0")
+        if self.load_scale < 0:
+            raise ScenarioError("phase load_scale must be >= 0")
+        if self.app_mix is not None:
+            for app, factor in self.app_mix.items():
+                if factor < 0:
+                    raise ScenarioError(f"app_mix[{app!r}] must be >= 0")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def to_dict(self) -> dict:
+        return {
+            "start_cycle": self.start_cycle,
+            "pattern": self.pattern,
+            "load_scale": self.load_scale,
+            "modulator": self.modulator.to_dict() if self.modulator else None,
+            "app_mix": dict(sorted(self.app_mix.items())) if self.app_mix else None,
+            "faults": [f.to_dict() for f in self.faults],
+            "hotspot_core": self.hotspot_core,
+            "placement_key": self.placement_key,
+        }
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Per-phase measurement window of one scenario run.
+
+    Stored inside :class:`~repro.experiments.runner.RunResult` (and thus
+    serialised through the JSONL result store), so every field is a JSON
+    scalar. Metrics cover the *measured* part of the phase: a phase that
+    spans the warm-up reset reports only its post-reset window.
+    """
+
+    index: int
+    pattern: str
+    start_cycle: int
+    end_cycle: int
+    measured_cycles: int
+    packets_offered: int
+    packets_refused: int
+    packets_delivered: int
+    bits_delivered: int
+    delivered_gbps: float
+    mean_latency_cycles: float
+    faults_fired: int = 0
+
+    @property
+    def throughput_fraction(self) -> float:
+        if self.packets_offered == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_offered
+
+
+@dataclass(frozen=True)
+class ScenarioSchedule:
+    """An ordered, validated list of phases plus an identity."""
+
+    name: str
+    phases: Tuple[Phase, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.name:
+            raise ScenarioError("schedule needs a name")
+        if not self.phases:
+            raise ScenarioError("schedule needs at least one phase")
+        if self.phases[0].start_cycle != 0:
+            raise ScenarioError("first phase must start at cycle 0")
+        starts = [p.start_cycle for p in self.phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ScenarioError(
+                f"phase start cycles must be strictly increasing, got {starts}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def phase_bounds(self, total_cycles: int) -> List[Tuple[int, int, Phase]]:
+        """``(start, end, phase)`` triples clipped to ``total_cycles``."""
+        if total_cycles <= self.phases[-1].start_cycle:
+            raise ScenarioError(
+                f"run of {total_cycles} cycles never reaches phase starting "
+                f"at {self.phases[-1].start_cycle}"
+            )
+        bounds = []
+        for i, phase in enumerate(self.phases):
+            end = (
+                self.phases[i + 1].start_cycle
+                if i + 1 < len(self.phases)
+                else total_cycles
+            )
+            for fault in phase.faults:
+                if phase.start_cycle + fault.at_cycle >= end:
+                    raise ScenarioError(
+                        f"phase {i} fault {fault.action!r} at offset "
+                        f"{fault.at_cycle} lands at/after the phase ends "
+                        f"(cycle {end}); it would be silently dropped"
+                    )
+            bounds.append((phase.start_cycle, end, phase))
+        return bounds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the full script (store-key input)."""
+        return hashlib.sha256(_canonical(self.to_dict()).encode()).hexdigest()[:16]

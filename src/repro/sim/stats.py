@@ -239,6 +239,27 @@ class StatsRegistry:
         return out
 
 
+def window_mean(
+    count_before: int, mean_before: float, count_after: int, mean_after: float
+) -> float:
+    """Mean of the samples added between two ``(count, mean)`` snapshots.
+
+    The per-phase metric-window primitive: scenario players snapshot a
+    :class:`RunningMean`'s ``(count, mean)`` at each phase boundary and
+    recover the phase-local mean from the totals, so windowing costs
+    nothing on the per-sample hot path.
+
+    >>> window_mean(0, 0.0, 4, 10.0)   # all four samples in the window
+    10.0
+    >>> window_mean(2, 4.0, 4, 7.0)    # two samples averaging 10 joined
+    10.0
+    """
+    n = count_after - count_before
+    if n <= 0:
+        return 0.0
+    return (count_after * mean_after - count_before * mean_before) / n
+
+
 def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> Optional[float]:
     """Mean of ``(value, weight)`` pairs; ``None`` when total weight is 0."""
     total = 0.0

@@ -55,9 +55,12 @@ class TrafficGenerator:
         total = sum(self._weights)
         if total <= 0:
             raise ValueError("pattern weights must sum to a positive value")
-        self._probabilities = [
-            min(1.0, offered_load_packets_per_cycle * w / total) for w in self._weights
+        # Uncapped per-core rates; the active probabilities cap at 1.
+        self._base_rates = [
+            offered_load_packets_per_cycle * w / total for w in self._weights
         ]
+        self._scale = 1.0
+        self._probabilities = [min(1.0, rate) for rate in self._base_rates]
         self.offered_load = offered_load_packets_per_cycle
         # Stats.
         self.packets_offered = 0
@@ -80,6 +83,27 @@ class TrafficGenerator:
             raise ValueError("pattern must be bound first")
         packets_per_cycle = offered_gbps * 1e9 / bw_set.packet_bits / clock_hz
         return cls(pattern, packets_per_cycle, rng, submit)
+
+    def set_scale(self, scale: float) -> None:
+        """Rescale the offered load without rebuilding the generator.
+
+        Scenario players modulate demand over time by calling this at
+        phase boundaries (or every cycle for ramps). ``scale == 1``
+        reproduces the constructor's probabilities exactly, so a
+        never-modulated generator is bit-identical to the legacy path.
+        """
+        if scale < 0:
+            raise ValueError(f"scale must be >= 0, got {scale}")
+        if scale == self._scale:
+            return
+        self._scale = scale
+        self._probabilities = [
+            min(1.0, rate * scale) for rate in self._base_rates
+        ]
+
+    @property
+    def scale(self) -> float:
+        return self._scale
 
     def tick(self, cycle: int) -> None:
         """One injection round: Bernoulli trial per core."""

@@ -261,10 +261,41 @@ class RealApplicationTraffic(TrafficPattern):
         self._intensity = {
             c: APP_PROFILES[self.cluster_app[c]].intensity for c in self._gpu_clusters
         }
+        # Profile intensities as bound; scale_intensities() factors are
+        # always relative to these, never cumulative.
+        self._base_intensity = dict(self._intensity)
         self._total_intensity = sum(self._intensity.values())
 
     def app_of_cluster(self, cluster: int) -> Optional[str]:
         return self.cluster_app.get(cluster)
+
+    def scale_intensities(self, mix: Dict[str, float]) -> None:
+        """Set each app's traffic intensity to ``profile * mix.get(app, 1)``.
+
+        Models an application *phase change* (scenario ``app_phases``):
+        the placement and demand classes stay fixed while the share of
+        offered traffic each app generates shifts. Factors are absolute
+        multipliers on the bound profile intensities — repeated calls
+        replace the previous mix rather than compounding it, so a
+        scripted phase means the same thing whether or not its pattern
+        was rebound. Source weights and reply routing pick the new
+        intensities up immediately; callers holding a
+        :class:`~repro.traffic.generator.TrafficGenerator` must rebuild
+        it (weights are sampled at construction).
+        """
+        self._require_bound()
+        for app, factor in mix.items():
+            if factor < 0:
+                raise PatternError(f"intensity factor for {app!r} must be >= 0")
+            if app not in APP_PROFILES:
+                raise PatternError(f"unknown application {app!r}")
+        self._intensity = {
+            cluster: base * mix.get(self.cluster_app[cluster], 1.0)
+            for cluster, base in self._base_intensity.items()
+        }
+        self._total_intensity = sum(self._intensity.values())
+        if self._total_intensity <= 0:
+            raise PatternError("app mix scaled every intensity to zero")
 
     def class_of_cluster(self, cluster: int) -> Optional[int]:
         app = self.cluster_app.get(cluster)

@@ -38,6 +38,8 @@ class TrafficTrace:
 
     def __init__(self, records: Optional[List[TraceRecord]] = None):
         self.records: List[TraceRecord] = list(records or [])
+        #: Lines skipped by :meth:`load` (torn writes, corrupt JSON).
+        self.corrupt_lines = 0
         self._sorted = True
         self._check_order()
 
@@ -121,11 +123,36 @@ class TrafficTrace:
 
     @classmethod
     def load(cls, path: Path | str) -> "TrafficTrace":
+        """Load a JSONL trace, skipping corrupt or torn lines.
+
+        Mirrors :class:`~repro.experiments.store.ResultStore`'s
+        torn-write tolerance: a truncated tail or a garbled line is
+        counted in :attr:`corrupt_lines` instead of poisoning the whole
+        replay. Records with invalid *values* (negative cycle,
+        ``src == dst``) and records with unknown fields are rejected the
+        same way.
+        """
         path = Path(path)
         records = []
+        corrupt = 0
         with path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
-                if line:
-                    records.append(TraceRecord(**json.loads(line)))
-        return cls(records)
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    records.append(TraceRecord(**data))
+                except (ValueError, TypeError, KeyError):
+                    corrupt += 1
+        if corrupt and not records:
+            # Every line rejected is systematic corruption (schema
+            # mismatch, wrong file), not a torn tail: replaying an
+            # empty trace would silently simulate zero traffic.
+            raise ValueError(
+                f"no valid records in {path}: all {corrupt} non-empty "
+                "lines are corrupt or schema-incompatible"
+            )
+        trace = cls(records)
+        trace.corrupt_lines = corrupt
+        return trace

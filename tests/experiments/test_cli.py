@@ -55,6 +55,27 @@ class TestParser:
         assert args.store == "out.jsonl"
         assert args.fixed_seeds
 
+    def test_scenarios_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["scenarios", "list"]).scenario_command == "list"
+        args = parser.parse_args(["scenarios", "describe", "steady"])
+        assert args.name == "steady"
+        args = parser.parse_args(
+            ["scenarios", "run", "hotspot_drift", "--arch", "firefly",
+             "dhetpnoc", "--load-fraction", "0.5"]
+        )
+        assert args.name == "hotspot_drift"
+        assert args.load_fraction == 0.5
+        args = parser.parse_args(
+            ["scenarios", "sweep", "--scenario", "steady", "fault_storm",
+             "--workers", "2"]
+        )
+        assert args.scenario == ["steady", "fault_storm"]
+
+    def test_validate_accepts_seed_replicates(self):
+        args = build_parser().parse_args(["validate", "--seeds", "1", "2", "3"])
+        assert args.seeds == [1, 2, 3]
+
     def test_workers_accepted_on_run_and_all(self):
         assert build_parser().parse_args(
             ["run", "figure-3-3", "--workers", "2"]
@@ -99,3 +120,48 @@ class TestMain:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 simulated" in out
+
+    def test_scenarios_list_and_describe(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "hotspot_drift", "fault_storm"):
+            assert name in out
+
+        assert main(["scenarios", "describe", "hotspot_drift"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "skewed_hotspot1" in out
+
+        assert main(["scenarios", "describe", "nope"]) == 2
+        assert main(["scenarios", "run", "nope"]) == 2
+
+    def test_scenarios_reject_invalid_pattern(self, capsys):
+        """Bad --pattern exits 2 with a message, like the sweep command,
+        instead of a raw PatternError traceback."""
+        assert main(["scenarios", "run", "steady", "--pattern", "bogus"]) == 2
+        assert "invalid pattern 'bogus'" in capsys.readouterr().err
+        assert main(["scenarios", "sweep", "--scenario", "steady",
+                     "--pattern", "bogus"]) == 2
+        assert "invalid pattern 'bogus'" in capsys.readouterr().err
+
+    def test_scenarios_run_prints_phase_table(self, capsys):
+        assert main(["scenarios", "run", "load_spike",
+                     "--pattern", "skewed3"]) == 0
+        out = capsys.readouterr().out
+        assert "load_spike on dhetpnoc" in out
+        assert "phase" in out and "Gb/s" in out
+        assert "overall:" in out
+
+    def test_scenarios_sweep_reports_per_scenario_rows(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        argv = ["scenarios", "sweep", "--scenario", "steady", "load_spike",
+                "--arch", "firefly", "dhetpnoc", "--pattern", "skewed3",
+                "--workers", "2", "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Scenario saturation peaks" in out
+        assert "steady" in out and "load_spike" in out
+        assert "d-HetPNoC peak gain" in out
+        # Resume: the scenario axis is cached like any other.
+        assert main(argv) == 0
+        assert "0 simulated" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for the built-in scenario library."""
+
+import pytest
+
+from repro.scenarios.library import (
+    build_scenario,
+    describe_scenario,
+    scenario_catalog,
+    scenario_names,
+)
+from repro.scenarios.schedule import ScenarioError
+
+#: Acceptance criterion: the registry exposes at least 6 named scenarios.
+EXPECTED = {
+    "steady", "bursty_uniform", "diurnal", "hotspot_drift",
+    "app_phases", "load_spike", "fault_storm",
+}
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios(self):
+        assert len(scenario_names()) >= 6
+        assert EXPECTED <= set(scenario_names())
+
+    def test_catalog_descriptions(self):
+        for name, description in scenario_catalog():
+            assert description
+            assert describe_scenario(name) == description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ScenarioError):
+            build_scenario("does_not_exist", 1000)
+        with pytest.raises(ScenarioError):
+            describe_scenario("does_not_exist")
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ScenarioError):
+            build_scenario("steady", 0)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("total_cycles", [700, 1500, 10_000])
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_every_scenario_builds_at_every_fidelity(self, name, total_cycles):
+        schedule = build_scenario(name, total_cycles)
+        assert schedule.name == name
+        bounds = schedule.phase_bounds(total_cycles)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == total_cycles
+
+    def test_rebuild_is_bit_identical(self):
+        """Workers rebuild schedules by name; the rebuild must agree
+        with the coordinator's build, fingerprint included."""
+        for name in scenario_names():
+            a = build_scenario(name, 1500)
+            b = build_scenario(name, 1500)
+            assert a == b
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_varies_with_run_length(self):
+        """Phase boundaries scale with the schedule, so a scenario built
+        for another fidelity is a different script — and hashes so."""
+        assert (
+            build_scenario("hotspot_drift", 1500).fingerprint()
+            != build_scenario("hotspot_drift", 10_000).fingerprint()
+        )
+
+    def test_steady_is_a_single_transparent_phase(self):
+        schedule = build_scenario("steady", 1500)
+        assert len(schedule) == 1
+        (phase,) = schedule.phases
+        assert phase.pattern is None
+        assert phase.load_scale == 1.0
+        assert phase.modulator is None
+        assert phase.faults == ()
+
+    def test_hotspot_drift_moves_across_clusters(self):
+        schedule = build_scenario("hotspot_drift", 10_000)
+        cores = [p.hotspot_core for p in schedule.phases]
+        clusters = [c // 4 for c in cores]
+        assert len(set(clusters)) == len(clusters) >= 4
+        keys = {p.placement_key for p in schedule.phases}
+        assert len(keys) == 1  # fixed placement under the moving hotspot
+
+    def test_fault_storm_scripts_all_three_modes(self):
+        schedule = build_scenario("fault_storm", 10_000)
+        actions = {
+            f.action for phase in schedule.phases for f in phase.faults
+        }
+        assert {"kill_wavelengths", "freeze_token", "thaw_token",
+                "blackout_receiver"} <= actions

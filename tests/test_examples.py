@@ -46,6 +46,13 @@ class TestExamples:
         assert "1.608" in out
         assert "Conclusion's mitigation" in out
 
+    def test_scenario_showdown(self):
+        out = run_example("scenario_showdown.py", "--fidelity", "tiny")
+        assert "Per-phase delivered bandwidth" in out
+        assert "hotspot_drift on firefly" in out
+        assert "hotspot_drift on dhetpnoc" in out
+        assert "Take-away" in out
+
     def test_parallel_sweep_study(self):
         out = run_example("parallel_sweep_study.py", "--fidelity", "tiny",
                           "--seeds", "1", "2", "--workers", "2")

@@ -75,6 +75,89 @@ class TestTrafficTrace:
         loaded = TrafficTrace.load(path)
         assert loaded.records == trace.records
 
+    def test_roundtrip_preserves_bw_class_none_distinctly(self, tmp_path):
+        """``bw_class=None`` must survive the file round trip as None,
+        not collapse into a missing field or 0."""
+        trace = TrafficTrace(
+            [TraceRecord(0, 0, 5, bw_class=0), TraceRecord(1, 3, 4)]
+        )
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.records[0].bw_class == 0
+        assert loaded.records[1].bw_class is None
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        """Torn-write tolerance, mirroring ResultStore: garbled JSON, a
+        truncated tail, unknown fields and invalid values are counted
+        and skipped instead of poisoning the replay."""
+        path = tmp_path / "trace.jsonl"
+        good = TraceRecord(3, 1, 2, bw_class=1)
+        path.write_text(
+            "\n".join(
+                [
+                    '{"cycle": 3, "src": 1, "dst": 2, "bw_class": 1}',
+                    "not json at all",
+                    '{"cycle": 4, "src": 0',  # torn write
+                    '{"cycle": 5, "src": 2, "dst": 2}',  # src == dst
+                    '{"cycle": -1, "src": 0, "dst": 1}',  # invalid cycle
+                    '{"cycle": 6, "src": 0, "dst": 1, "weird": true}',
+                    '[1, 2, 3]',  # valid JSON, wrong shape
+                    "",
+                ]
+            ),
+            encoding="utf-8",
+        )
+        loaded = TrafficTrace.load(path)
+        assert loaded.records == [good]
+        assert loaded.corrupt_lines == 6
+
+    def test_load_rejects_fully_corrupt_file(self, tmp_path):
+        """Torn-tail tolerance must not mask systematic corruption: a
+        file with zero parseable records (wrong schema, wrong file)
+        raises instead of replaying as silent zero traffic."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"tick": 1, "from": 0, "to": 2}\n{"tick": 2, "from": 1, "to": 3}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="all 2 non-empty lines"):
+            TrafficTrace.load(path)
+        # An empty file stays an empty (valid) trace.
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert len(TrafficTrace.load(empty)) == 0
+
+    def test_file_roundtrip_replays_identically(self, tmp_path):
+        """record -> save -> load -> replay equals the direct replay."""
+        pattern = UniformRandomTraffic().bind(BW_SET_1, 16, 4, random.Random(2))
+        trace = TrafficTrace()
+        submit = TrafficTrace.recording_submit(trace, lambda p: True)
+        gen = TrafficGenerator(pattern, 0.4, random.Random(8), submit)
+        for cycle in range(200):
+            gen.tick(cycle)
+        assert len(trace) > 0
+
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.corrupt_lines == 0
+
+        def replay(t):
+            packets = []
+            tick = t.replayer(
+                BW_SET_1,
+                lambda p: packets.append(
+                    (p.created_cycle, p.src, p.dst, p.bw_class, p.n_flits)
+                )
+                or True,
+            )
+            for cycle in range(200):
+                tick(cycle)
+            return packets
+
+        assert replay(loaded) == replay(trace)
+
     def test_end_to_end_record_replay_equivalence(self):
         """Recording a generator then replaying gives identical streams."""
         pattern = UniformRandomTraffic().bind(BW_SET_1, 16, 4, random.Random(1))

@@ -1,0 +1,106 @@
+"""Benchmarks for the result-store backends.
+
+Measures the costs the storage layer trades between: the resume-time
+load of a monolithic JSONL file versus a single lazily-loaded shard,
+and the offline compaction pass. The store contents are synthetic
+records (no simulation), so the numbers isolate pure storage overhead.
+"""
+
+import dataclasses
+
+from repro.experiments.runner import RunResult
+from repro.experiments.store import open_store
+
+#: Synthetic store size: enough lines that load cost dominates.
+N_RECORDS = 2000
+
+TEMPLATE = RunResult(
+    arch="firefly",
+    pattern="skewed3",
+    bw_set_index=1,
+    offered_gbps=640.0,
+    delivered_gbps=257.72,
+    photonic_gbps=301.5,
+    per_core_gbps=4.03,
+    energy_per_message_pj=11314.6,
+    mean_latency_cycles=350.47,
+    acceptance_ratio=0.82,
+    packets_delivered=1234,
+    reservations_nacked=56,
+    laser_power_mw=640.0,
+    lit_wavelengths=64,
+)
+
+
+def _fill(store, n=N_RECORDS):
+    """Populate a store with records spread over 2 archs x 3 bw sets."""
+    for i in range(n):
+        arch = ("firefly", "dhetpnoc")[i % 2]
+        bw = 1 + (i % 3)
+        record = dataclasses.replace(
+            TEMPLATE, arch=arch, bw_set_index=bw, offered_gbps=float(i)
+        )
+        store.put(f"key-{i:06d}", record)
+
+
+def test_monolithic_resume_load(benchmark, tmp_path):
+    """Reopening a monolithic store parses every line eagerly."""
+    path = str(tmp_path / "store.jsonl")
+    _fill(open_store(path, "jsonl"))
+
+    def reopen():
+        return len(open_store(path, "jsonl"))
+
+    assert benchmark(reopen) == N_RECORDS
+
+
+def test_sharded_restricted_resume_load(benchmark, tmp_path):
+    """A coords-hinted get loads one shard out of six."""
+    root = str(tmp_path / "shards")
+    seeded = open_store(root, "sharded")
+    _fill(seeded)
+    # A key that lives in the (firefly, set 1) shard.
+    key, coords = "key-000000", ("firefly", 1)
+    assert seeded.get(key, coords) is not None
+
+    def reopen_one_shard():
+        store = open_store(root, "sharded")
+        assert store.get(key, coords) is not None
+        return len(store.backend.read_paths)
+
+    assert benchmark(reopen_one_shard) == 1  # exactly one file opened
+
+
+def test_compaction_pass(benchmark, tmp_path):
+    """Offline dedupe/rewrite of a store with 50% duplicate lines."""
+    import itertools
+    import os
+
+    import repro.experiments.store as store_mod
+    from repro.experiments.store import shard_filename
+
+    root = str(tmp_path / "shards")
+    store = open_store(root, "sharded")
+    _fill(store)
+    # Duplicate every other key of each shard by appending newer lines
+    # directly (what a second concurrent writer would leave behind).
+    duplicated = 0
+    for arch, bw in itertools.product(("firefly", "dhetpnoc"), (1, 2, 3)):
+        items = list(store.backend.scan((arch, bw)))[::2]
+        path = os.path.join(root, shard_filename(arch, bw))
+        with open(path, "a", encoding="utf-8") as fh:
+            for key, record in items:
+                fh.write(
+                    store_mod._record_line(
+                        key, dataclasses.replace(record, offered_gbps=-1.0)
+                    )
+                    + "\n"
+                )
+                duplicated += 1
+
+    def compact():
+        return open_store(root, "sharded").compact()
+
+    stats = benchmark.pedantic(compact, rounds=1, iterations=1)
+    assert stats.records_after == N_RECORDS
+    assert stats.duplicates_dropped == duplicated

@@ -11,7 +11,11 @@ Measures the three costs the orchestration layer adds or removes:
 from benchmarks.conftest import bench_workers
 from repro.experiments.runner import Fidelity
 from repro.experiments.store import ResultStore, result_key
-from repro.experiments.sweep import SweepExecutor, SweepSpec
+from repro.experiments.sweep import (
+    SweepExecutor,
+    SweepSpec,
+    adaptive_knee_sweep,
+)
 
 #: Small but multi-axis grid: 2 archs x 2 patterns x 2 loads = 8 points.
 BENCH_FIDELITY = Fidelity("bench", 700, 100, (0.4, 0.9))
@@ -44,6 +48,27 @@ def test_resumed_sweep_cache_hits(benchmark):
     results = benchmark(lambda: executor.run(BENCH_SPEC))
     assert executor.executed_count == 0
     assert len(results) == BENCH_SPEC.n_points()
+
+
+def test_adaptive_knee_vs_grid_budget(benchmark):
+    """Knee localisation spends a fraction of the dense grid's budget.
+
+    Runs the adaptive search cold and asserts it simulated well under
+    the equivalent fixed-grid point count at the same resolution.
+    """
+    resolution = 0.1
+    grid_points = round(1.0 / resolution)
+
+    def run_adaptive():
+        return adaptive_knee_sweep(
+            "dhetpnoc", 1, "skewed3", BENCH_FIDELITY,
+            executor=SweepExecutor(store=ResultStore()),
+            seed=1, resolution=resolution, max_fraction=1.0,
+        )
+
+    estimate = benchmark.pedantic(run_adaptive, rounds=1, iterations=1)
+    assert estimate.n_simulated <= grid_points // 2
+    assert estimate.knee_gbps > 0
 
 
 def test_result_key_hashing(benchmark):

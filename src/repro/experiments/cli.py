@@ -8,6 +8,9 @@ Examples::
     dhetpnoc-repro all --fidelity quick --workers 4 --store results/store.jsonl
     dhetpnoc-repro sweep --arch firefly dhetpnoc --pattern uniform skewed3 \\
         --bw-set 1 --seeds 1 2 3 --workers 4 --store results/store.jsonl
+    dhetpnoc-repro sweep --adaptive --resolution 0.05 --pattern skewed3
+    dhetpnoc-repro store info --store results/shards/ --store-backend sharded
+    dhetpnoc-repro store compact --store results/store.jsonl
     dhetpnoc-repro scenarios list
     dhetpnoc-repro scenarios describe hotspot_drift
     dhetpnoc-repro scenarios run hotspot_drift --arch firefly dhetpnoc
@@ -15,7 +18,12 @@ Examples::
 
 ``--workers`` fans the sweep grid out over a process pool; ``--store``
 persists every simulated point as JSONL so re-runs (and other exhibits
-sharing the same points) are instant cache hits. The ``scenarios``
+sharing the same points) are instant cache hits. ``--store-backend
+sharded`` (or a directory path) splits the store into one shard per
+(architecture, bandwidth set) so resuming loads only the shards a run
+touches; ``store compact`` dedupes and rewrites a store offline.
+``sweep --adaptive`` replaces the fixed load grid with the
+knee-bisection search (see docs/sweeps.md). The ``scenarios``
 subcommands script time-varying workloads (see docs/scenarios.md).
 """
 
@@ -44,14 +52,16 @@ def _fidelity(name: str):
     raise argparse.ArgumentTypeError(f"unknown fidelity {name!r} (paper|quick)")
 
 
-def _make_executor(workers: int, store_path: Optional[str]):
+def _make_executor(
+    workers: int, store_path: Optional[str], store_backend: str = "auto"
+):
     """Build the session executor; ``--store`` also becomes the default
     store so legacy ``peak_result`` paths persist their points too."""
-    from repro.experiments.store import ResultStore
+    from repro.experiments.store import open_store
     from repro.experiments.sweep import SweepExecutor
 
     if store_path:
-        set_default_store(ResultStore(store_path))
+        set_default_store(open_store(store_path, store_backend))
     return SweepExecutor(workers=workers, store=default_store())
 
 
@@ -86,6 +96,13 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", default=None, metavar="PATH",
         help="JSONL result store; makes runs resumable across invocations",
+    )
+    parser.add_argument(
+        "--store-backend", default="auto",
+        choices=["auto", "jsonl", "sharded"],
+        help="store layout: one monolithic JSONL file, or one shard per "
+        "(arch, bandwidth set) under a directory (default: auto — a "
+        "directory path selects sharded)",
     )
 
 
@@ -139,7 +156,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--fixed-seeds", action="store_true",
         help="use base seeds verbatim instead of per-curve derived seeds",
     )
+    sweep.add_argument(
+        "--adaptive", action="store_true",
+        help="replace the fixed load grid with the knee-bisection search "
+        "seeded from the analytic saturation model (fewer simulations)",
+    )
+    sweep.add_argument(
+        "--resolution", type=float, default=0.05, metavar="FRACTION",
+        help="load-fraction step the adaptive search localises the knee "
+        "to (default: 0.05)",
+    )
     _add_parallel_options(sweep)
+
+    store = sub.add_parser(
+        "store", help="inspect or compact a persistent result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("info", "show backend, record and shard counts"),
+        ("compact", "dedupe repeated keys and rewrite the store in place"),
+    ):
+        cmd = store_sub.add_parser(name, help=help_text)
+        cmd.add_argument("--store", required=True, metavar="PATH")
+        cmd.add_argument(
+            "--store-backend", default="auto",
+            choices=["auto", "jsonl", "sharded"],
+        )
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -206,13 +248,62 @@ def _invalid_patterns(names, prog: str) -> bool:
     return False
 
 
+def _run_adaptive_sweep(args, executor) -> int:
+    """``sweep --adaptive``: knee-bisection search per curve."""
+    from repro.experiments.sweep import adaptive_knee_sweep
+
+    rows = []
+    total_sims = 0
+    for arch in args.arch:
+        for bw_index in args.bw_set:
+            for pattern in args.pattern:
+                for seed in args.seeds:
+                    est = adaptive_knee_sweep(
+                        arch, bw_index, pattern, args.fidelity,
+                        executor=executor, seed=seed,
+                        resolution=args.resolution,
+                        derive_seeds=not args.fixed_seeds,
+                    )
+                    total_sims += est.n_simulated
+                    rows.append([
+                        arch,
+                        f"set{bw_index}",
+                        pattern,
+                        seed,
+                        "-" if est.analytic_knee_gbps is None
+                        else f"{est.analytic_knee_gbps:.0f}",
+                        f"{est.knee_gbps:.0f}"
+                        + ("" if est.saturated else ">"),
+                        f"{est.peak.delivered_gbps:.1f}",
+                        f"{est.peak.offered_gbps:.0f}",
+                        est.n_evaluated,
+                    ])
+    grid_points = round(max(args.fidelity.load_fractions) / args.resolution)
+    title = (
+        f"Adaptive saturation knees ({args.fidelity.name} fidelity, "
+        f"resolution {args.resolution:g}, {total_sims} simulated vs "
+        f"{grid_points * len(rows)} for the equivalent fixed grid)"
+    )
+    print(
+        ascii_table(
+            ["arch", "bw set", "pattern", "seed", "analytic knee Gb/s",
+             "measured knee Gb/s", "peak Gb/s", "peak offered", "evals"],
+            rows,
+            title=title,
+        )
+    )
+    return 0
+
+
 def _run_sweep(args) -> int:
     from repro.experiments.sweep import SweepSpec, replication_summary
 
     if _invalid_patterns(args.pattern, "sweep"):
         return 2
 
-    executor = _make_executor(args.workers, args.store)
+    executor = _make_executor(args.workers, args.store, args.store_backend)
+    if args.adaptive:
+        return _run_adaptive_sweep(args, executor)
     try:
         spec = SweepSpec(
             archs=tuple(args.arch),
@@ -268,6 +359,46 @@ def _run_sweep(args) -> int:
                     f"note: set{bw_index}/{pattern}: d-HetPNoC peak gain "
                     f"{gain:+.2f}% over Firefly"
                 )
+    return 0
+
+
+def _run_store(args) -> int:
+    """``store info`` / ``store compact`` maintenance commands."""
+    import os
+
+    from repro.experiments.store import ShardedJsonlBackend, open_store
+
+    store = open_store(args.store, args.store_backend)
+    backend = store.backend
+
+    if args.store_command == "compact":
+        stats = store.compact()
+        print(
+            f"compacted {stats.files} file(s): {stats.lines_before} lines -> "
+            f"{stats.records_after} records "
+            f"({stats.duplicates_dropped} duplicates, "
+            f"{stats.corrupt_dropped} corrupt dropped; "
+            f"{stats.bytes_before} -> {stats.bytes_after} bytes)"
+        )
+        return 0
+
+    # store info
+    kind = type(backend).__name__
+    records = len(store)
+    print(f"store: {store.path}")
+    print(f"backend: {kind}")
+    print(f"records: {records}")
+    if store.corrupt_lines:
+        print(f"corrupt lines skipped: {store.corrupt_lines}")
+    if isinstance(backend, ShardedJsonlBackend):
+        counts = backend.shard_record_counts()
+        rows = [
+            [os.path.basename(path), counts[os.path.basename(path)],
+             os.path.getsize(path)]
+            for path in backend.shard_paths()
+        ]
+        print(ascii_table(["shard", "records", "bytes"], rows,
+                          title="Shards"))
     return 0
 
 
@@ -340,7 +471,7 @@ def _run_scenarios(args) -> int:
         return 2
     if _invalid_patterns(args.pattern, "scenarios sweep"):
         return 2
-    executor = _make_executor(args.workers, args.store)
+    executor = _make_executor(args.workers, args.store, args.store_backend)
     try:
         spec = SweepSpec(
             archs=tuple(args.arch),
@@ -399,11 +530,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        executor = _make_executor(args.workers, args.store)
+        executor = _make_executor(args.workers, args.store, args.store_backend)
         print(_call_exhibit(args.exhibit, args.fidelity, args.seed, executor))
         return 0
     if args.command == "all":
-        executor = _make_executor(args.workers, args.store)
+        executor = _make_executor(args.workers, args.store, args.store_backend)
         for name in sorted(ALL_EXHIBITS):
             print(_call_exhibit(name, args.fidelity, args.seed, executor))
             print()
@@ -411,7 +542,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         from repro.experiments.validation import render_validation, validate_all
 
-        executor = _make_executor(args.workers, args.store)
+        executor = _make_executor(args.workers, args.store, args.store_backend)
         results = validate_all(
             args.fidelity, args.seed, executor=executor, seeds=args.seeds
         )
@@ -419,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(r.passed for r in results) else 1
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "store":
+        return _run_store(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
     return 1

@@ -26,7 +26,7 @@ def ascii_table(
 
     >>> print(ascii_table(["a", "b"], [[1, 2.5]]))
     a | b
-    --+----
+    --+------
     1 | 2.500
     """
     str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
@@ -42,10 +42,12 @@ def ascii_table(
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
     lines.append("-+-".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
     return "\n".join(lines)
 
 

@@ -285,6 +285,46 @@ def peak_result(
     )
 
 
+def adaptive_peak_result(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    workers: int = 1,
+    resolution: float = 0.05,
+) -> RunResult:
+    """Peak extraction via the adaptive knee search (fewer simulations).
+
+    Seeds the search from the analytic
+    :func:`repro.experiments.sweep.analytic_knee_gbps` estimate and
+    bisects around the observed delivery knee instead of walking the
+    fidelity's whole load grid — see
+    :func:`repro.experiments.sweep.adaptive_knee_sweep`. Runs against
+    the process-wide default store, so mixed grid/adaptive sessions
+    share every coinciding point. Customised (non-table-3-1) bandwidth
+    sets fall back to the fixed-grid :func:`peak_result` path.
+    """
+    from repro.experiments.sweep import SweepExecutor, adaptive_knee_sweep
+    from repro.traffic.bandwidth_sets import is_canonical_set
+
+    if not is_canonical_set(bw_set):
+        return peak_result(
+            arch_name, bw_set, pattern_name, fidelity, seed, workers=workers
+        )
+    executor = SweepExecutor(workers=workers, store=default_store())
+    estimate = adaptive_knee_sweep(
+        arch_name,
+        bw_set.index,
+        pattern_name,
+        fidelity,
+        executor=executor,
+        seed=seed,
+        resolution=resolution,
+    )
+    return estimate.peak
+
+
 def clear_peak_cache() -> None:
     """Drop the in-memory view of the default store."""
     default_store().clear()

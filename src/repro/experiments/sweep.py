@@ -201,6 +201,7 @@ class SweepSpec:
         return points
 
     def n_points(self) -> int:
+        """Size of the expanded grid (product of the axis lengths)."""
         return (
             len(self.archs)
             * len(self.bw_set_indices)
@@ -357,10 +358,15 @@ class SweepExecutor:
         keys = [self._key(p, fidelity) for p in points]
         # Dedup identical keys within the batch: a key repeated in
         # *points* (same simulation inputs) runs once and is shared.
+        # Membership checks and gets pass the point's (arch, bw set)
+        # coordinates so a sharded store loads only the shards this
+        # batch can actually hit.
         batch_seen = set()
         missing = []
         for i, (p, k) in enumerate(zip(points, keys)):
-            if k in self.store or k in batch_seen:
+            if k in batch_seen or self.store.contains(
+                k, (p.arch, p.bw_set_index)
+            ):
                 continue
             batch_seen.add(k)
             missing.append((i, p))
@@ -380,8 +386,10 @@ class SweepExecutor:
                 fresh[i] = result
                 self.store.put(keys[i], result)
         return [
-            fresh[i] if i in fresh else self.store.get(keys[i])
-            for i in range(len(points))
+            fresh[i]
+            if i in fresh
+            else self.store.get(keys[i], (p.arch, p.bw_set_index))
+            for i, p in enumerate(points)
         ]
 
     def run(self, spec: SweepSpec) -> List[RunResult]:
@@ -424,6 +432,241 @@ class SweepExecutor:
 
 
 # ---------------------------------------------------------------------------
+# Adaptive knee-seeking sweeps
+# ---------------------------------------------------------------------------
+#
+# A fixed load grid spends most of its simulations far from the
+# saturation knee — the paper's central Figure-3 quantity. The adaptive
+# mode seeds the search from the closed-form fluid model
+# (:mod:`repro.analysis.saturation`), then bisects the *observed*
+# delivery shortfall down to a target load resolution. All candidate
+# loads live on a fixed fraction grid (multiples of ``resolution``), so
+# two adaptive sweeps of the same curve evaluate byte-identical points,
+# share store keys with each other and with fixed-grid sweeps that
+# happen to visit the same loads, and are bitwise identical whether the
+# executor runs serially or through a worker pool.
+
+
+def analytic_knee_gbps(
+    arch: str,
+    bw_set_index: int,
+    pattern: str,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+) -> Optional[float]:
+    """Closed-form saturation-knee estimate for one curve, in Gb/s.
+
+    Binds *pattern* with the same placement stream ``run_once`` would
+    use for *seed* and asks the fluid model
+    (:class:`repro.analysis.saturation.SaturationModel`) where the first
+    write channel saturates. Returns ``None`` when the pattern is
+    outside the model's assumptions (the adaptive sweep then starts
+    from the middle of the load range instead).
+    """
+    from repro.analysis.saturation import AnalysisError, SaturationModel
+    from repro.sim.rng import RandomStreams
+    from repro.traffic.patterns import PatternError, pattern_by_name
+
+    bw_set = bandwidth_set_by_index(bw_set_index)
+    config = config or SystemConfig(bw_set=bw_set)
+    try:
+        bound = pattern_by_name(pattern).bind(
+            bw_set,
+            config.n_clusters,
+            config.cores_per_cluster,
+            RandomStreams(seed).get("placement"),
+        )
+        return SaturationModel(arch, bound, config).knee_gbps()
+    except (AnalysisError, PatternError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class KneeEstimate:
+    """Outcome of one :func:`adaptive_knee_sweep` curve localisation."""
+
+    arch: str
+    bw_set_index: int
+    pattern: str
+    scenario: Optional[str]
+    base_seed: int
+    #: Load-fraction grid step the knee was localised to.
+    resolution: float
+    #: Upper end of the searched fraction range.
+    max_fraction: float
+    #: Fluid-model seed estimate (``None``: model not applicable).
+    analytic_knee_gbps: Optional[float]
+    #: Localised knee: the smallest evaluated fraction whose delivered
+    #: bandwidth reaches the saturation plateau (within
+    #: ``plateau_margin``). ``saturated`` is ``False`` when delivery was
+    #: still climbing at ``max_fraction`` (no knee inside the range).
+    knee_fraction: float
+    knee_gbps: float
+    saturated: bool
+    #: Best evaluated point by delivered bandwidth (the "peak").
+    peak: RunResult
+    #: Every evaluated point, sorted by offered load.
+    results: Tuple[RunResult, ...]
+    #: Distinct load points evaluated (store hits included).
+    n_evaluated: int
+    #: Points actually simulated (store misses) by this call.
+    n_simulated: int
+
+
+def adaptive_knee_sweep(
+    arch: str,
+    bw_set_index: int,
+    pattern: str,
+    fidelity: Fidelity,
+    executor: Optional[SweepExecutor] = None,
+    seed: int = 1,
+    scenario: Optional[str] = None,
+    resolution: float = 0.05,
+    max_fraction: Optional[float] = None,
+    plateau_margin: float = 0.10,
+    derive_seeds: bool = False,
+) -> KneeEstimate:
+    """Localise one curve's saturation knee with few simulations.
+
+    Args:
+        arch: Architecture name (``firefly`` / ``dhetpnoc``).
+        bw_set_index: Canonical table 3-1 bandwidth-set index.
+        pattern: Traffic-pattern name.
+        fidelity: Simulation schedule; its ``load_fractions`` only cap
+            the default search range (``max_fraction``), the grid itself
+            is *not* swept.
+        executor: Sweep executor to run points through (defaults to a
+            fresh serial executor over an in-memory store). Reuse one
+            executor across curves to share its store and worker pool.
+        seed: Base seed; used verbatim unless ``derive_seeds``.
+        scenario: Optional named scenario (see :mod:`repro.scenarios`).
+        resolution: Target load-fraction resolution; all evaluated
+            fractions are multiples of it, and the returned knee is
+            localised to one step.
+        max_fraction: Upper end of the searched range (default: the
+            fidelity grid's maximum).
+        plateau_margin: Relative closeness to the plateau delivery that
+            counts as "saturated": a point is at/past the knee when its
+            delivered bandwidth reaches
+            ``(1 - plateau_margin) * delivered(max_fraction)``.
+        derive_seeds: Derive the per-curve seed as ``SweepSpec`` does
+            instead of using ``seed`` verbatim.
+
+    Returns:
+        A :class:`KneeEstimate`. ``results`` holds every evaluated
+        point, so the caller still gets a (sparse, knee-centred) curve.
+
+    The search: one probe pins the plateau delivery at ``max_fraction``,
+    one probes the analytic estimate's grid point, the bracket expands
+    by halving, and bisection closes it to one grid step. Every probe is
+    one point through :meth:`SweepExecutor.run_points`, so results are
+    store-cached and deterministic regardless of worker count; a re-run
+    against the same store simulates nothing.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    if not 0 < plateau_margin < 1:
+        raise ValueError("plateau_margin must be in (0, 1)")
+    executor = executor or SweepExecutor()
+    capacity = bandwidth_set_by_index(bw_set_index).aggregate_gbps
+    if max_fraction is None:
+        max_fraction = max(fidelity.load_fractions)
+    # Floor (with an epsilon for float division) so no probe exceeds
+    # the caller's load cap; at least one grid point always exists.
+    n = max(1, int(max_fraction / resolution + 1e-9))
+    point_seed = (
+        derive_seed(seed, arch, bw_set_index, pattern, scenario)
+        if derive_seeds
+        else seed
+    )
+
+    evaluated: Dict[int, RunResult] = {}
+    simulated = 0
+
+    def fraction(i: int) -> float:
+        return round(i * resolution, 9)
+
+    def evaluate(i: int) -> RunResult:
+        nonlocal simulated
+        if i not in evaluated:
+            point = RunPoint(
+                arch=arch,
+                bw_set_index=bw_set_index,
+                pattern=pattern,
+                load_fraction=fraction(i),
+                offered_gbps=fraction(i) * capacity,
+                seed=point_seed,
+                base_seed=seed,
+                scenario=scenario,
+            )
+            (evaluated[i],) = executor.run_points([point], fidelity)
+            simulated += executor.executed_count
+        return evaluated[i]
+
+    # The plateau reference: delivery at the top of the range. Below the
+    # knee delivery climbs steeply with offered load; at/past the knee
+    # it sits on the plateau (within noise), so "reaches the plateau" is
+    # a monotone predicate that bisection can localise.
+    plateau = evaluate(n).delivered_gbps
+    threshold = (1.0 - plateau_margin) * plateau
+
+    def at_plateau(i: int) -> bool:
+        return evaluate(i).delivered_gbps >= threshold
+
+    analytic = analytic_knee_gbps(arch, bw_set_index, pattern, seed=point_seed)
+    if analytic is not None and capacity > 0:
+        start = round(analytic / capacity / resolution)
+    else:
+        start = n // 2
+    start = min(max(start, 1), n - 1) if n > 1 else 1
+
+    # Bracket: lo = largest index known below the plateau (0 = trivially
+    # so: zero offered load delivers nothing), hi = smallest index known
+    # to reach it (n is trivially at the plateau).
+    lo, hi = 0, n
+    if plateau > 0 and n > 1:
+        if at_plateau(start):
+            hi = start
+            cand = start // 2
+            while cand >= 1:
+                if at_plateau(cand):
+                    hi = cand
+                    cand //= 2
+                else:
+                    lo = cand
+                    break
+        else:
+            lo = start
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if at_plateau(mid):
+                hi = mid
+            else:
+                lo = mid
+
+    knee_fraction = fraction(hi)
+    ordered = tuple(evaluated[i] for i in sorted(evaluated))
+    peak = max(ordered, key=lambda r: r.delivered_gbps)
+    return KneeEstimate(
+        arch=arch,
+        bw_set_index=bw_set_index,
+        pattern=pattern,
+        scenario=scenario,
+        base_seed=seed,
+        resolution=resolution,
+        max_fraction=max_fraction,
+        analytic_knee_gbps=analytic,
+        knee_fraction=knee_fraction,
+        knee_gbps=knee_fraction * capacity,
+        saturated=hi < n,
+        peak=peak,
+        results=ordered,
+        n_evaluated=len(evaluated),
+        n_simulated=simulated,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Multi-seed replication (mean +/- spread across seeds)
 # ---------------------------------------------------------------------------
 
@@ -443,6 +686,11 @@ class MetricSummary:
 
 
 def summarize_metric(values: Sequence[float]) -> MetricSummary:
+    """Fold per-seed metric *values* into a :class:`MetricSummary`.
+
+    Uses the population standard deviation (0.0 for a single value);
+    raises :class:`ValueError` on an empty sequence.
+    """
     if not values:
         raise ValueError("cannot summarize zero values")
     return MetricSummary(

@@ -154,6 +154,47 @@ def _energy_direction(
     )
 
 
+def _knee_localization(
+    fidelity: Fidelity, seed: int, _rel_tol: Optional[float] = None
+) -> ClaimResult:
+    """The fluid model must predict where d-HetPNoC actually saturates.
+
+    Uses the adaptive knee search (bisection seeded from the analytic
+    estimate) rather than the fixed grid, so the check also exercises
+    the few-simulation localisation path end to end.
+    """
+    from repro.experiments.runner import default_store
+    from repro.experiments.sweep import SweepExecutor, adaptive_knee_sweep
+
+    executor = SweepExecutor(store=default_store())
+    ff = adaptive_knee_sweep(
+        "firefly", BW_SET_1.index, "skewed3", fidelity,
+        executor=executor, seed=seed, resolution=0.1,
+    )
+    dh = adaptive_knee_sweep(
+        "dhetpnoc", BW_SET_1.index, "skewed3", fidelity,
+        executor=executor, seed=seed, resolution=0.1,
+    )
+    if dh.analytic_knee_gbps is None or ff.analytic_knee_gbps is None:
+        return ClaimResult(
+            "the analytic model localises d-HetPNoC's saturation knee",
+            "thesis 3.4.1.1 / fig. 3-3",
+            False,
+            "fluid model not applicable to skewed3 (analytic knee is None)",
+        )
+    ratio = dh.knee_gbps / dh.analytic_knee_gbps
+    ordering = dh.analytic_knee_gbps > 1.5 * ff.analytic_knee_gbps
+    passed = ordering and 0.5 <= ratio <= 2.0
+    return ClaimResult(
+        "the analytic model localises d-HetPNoC's saturation knee",
+        "thesis 3.4.1.1 / fig. 3-3",
+        passed,
+        f"measured {dh.knee_gbps:.0f} Gb/s vs analytic "
+        f"{dh.analytic_knee_gbps:.0f} Gb/s (x{ratio:.2f}); analytic knees "
+        f"dHet {dh.analytic_knee_gbps:.0f} vs FF {ff.analytic_knee_gbps:.0f}",
+    )
+
+
 def _case_studies_win(
     fidelity: Fidelity, seed: int, _rel_tol: Optional[float] = None
 ) -> ClaimResult:
@@ -212,6 +253,10 @@ HEADLINE_CLAIMS: List[ShapeClaim] = [
     ShapeClaim(
         "case studies won", "thesis fig. 3-5", _case_studies_win,
         patterns=("skewed_hotspot2", "real_app"),
+    ),
+    ShapeClaim(
+        "analytic knee localisation", "thesis fig. 3-3", _knee_localization,
+        patterns=("skewed3",),
     ),
 ]
 

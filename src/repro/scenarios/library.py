@@ -58,10 +58,15 @@ def register_scenario(
 
 
 def scenario_names() -> Tuple[str, ...]:
+    """Names of every registered scenario, sorted."""
     return tuple(sorted(_BUILDERS))
 
 
 def describe_scenario(name: str) -> str:
+    """One-line description of the named scenario.
+
+    Raises :class:`ScenarioError` for unknown names.
+    """
     if name not in _BUILDERS:
         raise ScenarioError(
             f"unknown scenario {name!r}; available: {scenario_names()}"

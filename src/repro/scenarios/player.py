@@ -315,6 +315,9 @@ class ScenarioPlayer:
     # Generator interface (duck-typed against TrafficGenerator)
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        """Advance the scenario to *cycle*: cross phase boundaries
+        (closing metric windows, rebinding patterns), fire due faults,
+        then tick the underlying generator at the phase's scaled load."""
         self._current_cycle = cycle
         self._ticked = True
         while (
@@ -380,6 +383,7 @@ class ScenarioPlayer:
         )
 
     def phase_stats(self) -> Tuple[PhaseStats, ...]:
+        """Per-phase metric windows; only valid after :meth:`finish`."""
         if not self._finished:
             raise ScenarioError("call finish() before reading phase stats")
         return tuple(self._closed)

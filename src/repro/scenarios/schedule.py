@@ -55,9 +55,12 @@ class LoadModulator:
     kind = "base"
 
     def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Build the per-run ``(cycle_in_phase, phase_cycles) -> scale``
+        callable; stochastic subclasses draw only from *rng*."""
         raise NotImplementedError
 
     def to_dict(self) -> dict:
+        """JSON-able description (``kind`` + the dataclass fields)."""
         data = {"kind": self.kind}
         data.update(dataclasses_asdict_shallow(self))
         return data
@@ -82,6 +85,7 @@ class StepLoad(LoadModulator):
             raise ScenarioError("step scale must be >= 0")
 
     def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Constant ``scale`` regardless of cycle."""
         scale = self.scale
         return lambda _t, _n: scale
 
@@ -99,6 +103,7 @@ class RampLoad(LoadModulator):
             raise ScenarioError("ramp scales must be >= 0")
 
     def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Linear interpolation across the phase's cycle span."""
         lo, hi = self.start_scale, self.end_scale
 
         def scale(t: int, n: int) -> float:
@@ -132,6 +137,7 @@ class BurstLoad(LoadModulator):
             raise ScenarioError("burst dwell means must be positive")
 
     def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Stateful on/off alternation with exponential dwell times."""
         state = {"on": False, "until": rng.expovariate(1.0 / self.mean_off_cycles)}
 
         def scale(t: int, _n: int) -> float:
@@ -161,6 +167,7 @@ class SinusoidLoad(LoadModulator):
             raise ScenarioError("sinusoid base/amplitude must be >= 0")
 
     def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Sinusoid around ``base_scale``, clamped at zero."""
         def scale(t: int, _n: int) -> float:
             angle = 2.0 * math.pi * (t / self.period_cycles + self.phase_frac)
             return max(0.0, self.base_scale + self.amplitude * math.sin(angle))
@@ -223,6 +230,7 @@ class FaultEvent:
             raise ScenarioError("kill needs a positive count")
 
     def to_dict(self) -> dict:
+        """JSON-able description of the fault event."""
         return {
             "at_cycle": self.at_cycle,
             "action": self.action,
@@ -273,6 +281,7 @@ class Phase:
         object.__setattr__(self, "faults", tuple(self.faults))
 
     def to_dict(self) -> dict:
+        """JSON-able description of the phase (script + faults)."""
         return {
             "start_cycle": self.start_cycle,
             "pattern": self.pattern,
@@ -365,6 +374,8 @@ class ScenarioSchedule:
         return bounds
 
     def to_dict(self) -> dict:
+        """JSON-able description of the whole schedule (hashed for the
+        content fingerprint)."""
         return {
             "name": self.name,
             "description": self.description,

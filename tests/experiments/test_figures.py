@@ -160,6 +160,25 @@ class TestSimulatedFigures:
         assert epms[-1] < epms[0] * 1.2
 
 
+class TestSaturationKnees:
+    def test_knee_exhibit_shape(self):
+        from repro.experiments.figures import saturation_knees
+        from repro.experiments.sweep import SweepExecutor
+
+        result = saturation_knees(
+            fidelity=TINY, seed=3, patterns=("skewed3",),
+            executor=SweepExecutor(),
+        )
+        assert len(result.rows) == 2  # one row per architecture
+        by_arch = {row[1]: row for row in result.rows}
+        # The analytic knee ordering that motivates the thesis: the
+        # heterogeneous design saturates later under skew.
+        assert by_arch["dhetpnoc"][2] > by_arch["firefly"][2]
+        evals = result.column("evals")
+        assert all(isinstance(e, int) and e >= 2 for e in evals)
+        assert "Saturation knees" in result.render()
+
+
 class TestRegistry:
     def test_all_exhibits_present(self):
         expected = {
@@ -167,7 +186,7 @@ class TestRegistry:
             "figure-1-1", "figure-3-3", "figure-3-3-replicated",
             "figure-3-4", "figure-3-5",
             "figure-3-6", "figure-3-7", "figure-3-8", "figure-3-9",
-            "figure-3-10",
+            "figure-3-10", "saturation-knees",
         }
         assert set(ALL_EXHIBITS) == expected
 

@@ -1,0 +1,58 @@
+"""Repository hygiene checks.
+
+Keeps bytecode caches and other build droppings out of version control
+permanently: ``.gitignore`` must cover ``__pycache__/`` and ``*.pyc``
+at every depth, and the git index must never contain them.
+"""
+
+import pathlib
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> str:
+    try:
+        return subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git not available")
+
+
+def test_gitignore_covers_bytecode_everywhere():
+    patterns = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    # A bare "__pycache__/" / "*.pyc" pattern applies at every depth.
+    assert "__pycache__/" in patterns
+    assert "*.pyc" in patterns
+
+
+def test_bytecode_paths_are_ignored_at_any_depth():
+    for probe in (
+        "src/repro/experiments/__pycache__/store.cpython-311.pyc",
+        "benchmarks/__pycache__/x.pyc",
+        "deep/nested/new/pkg/__pycache__/y.pyc",
+    ):
+        result = subprocess.run(
+            ["git", "check-ignore", "-q", probe],
+            cwd=REPO_ROOT,
+            capture_output=True,
+        )
+        assert result.returncode == 0, f"{probe} is not gitignored"
+
+
+def test_no_bytecode_tracked_in_git_index():
+    tracked = _git("ls-files").splitlines()
+    offenders = [
+        path
+        for path in tracked
+        if "__pycache__" in path or path.endswith(".pyc")
+    ]
+    assert not offenders, f"bytecode files tracked in git: {offenders}"

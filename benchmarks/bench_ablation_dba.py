@@ -14,8 +14,9 @@ import pytest
 
 from benchmarks.conftest import SEED, emit
 from repro.arch.config import SystemConfig
+from repro.api.session import Session
 from repro.experiments.report import ascii_table
-from repro.experiments.runner import Fidelity, run_once
+from repro.experiments.runner import Fidelity
 from repro.traffic.bandwidth_sets import BW_SET_1
 
 ABLATION_FIDELITY = Fidelity("ablation", 1_500, 200, (0.6,))
@@ -23,9 +24,9 @@ LOAD_GBPS = 480.0
 
 
 def run_with_config(config: SystemConfig) -> float:
-    result = run_once(
+    result = Session(config=config).run_one(
         "dhetpnoc", BW_SET_1, "skewed3", LOAD_GBPS,
-        ABLATION_FIDELITY, SEED, config=config,
+        fidelity=ABLATION_FIDELITY, seed=SEED,
     )
     return result.delivered_gbps
 

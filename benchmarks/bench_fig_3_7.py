@@ -9,9 +9,9 @@ from benchmarks.conftest import SEED, emit
 from repro.experiments.figures import figure_3_7
 
 
-def test_figure_3_7(benchmark, fidelity, results_dir, executor):
+def test_figure_3_7(benchmark, fidelity, results_dir, session):
     result = benchmark.pedantic(
-        lambda: figure_3_7(fidelity=fidelity, seed=SEED, executor=executor), rounds=1, iterations=1
+        lambda: figure_3_7(fidelity=fidelity, seed=SEED, session=session), rounds=1, iterations=1
     )
     emit(results_dir, "figure-3-7", result.render())
 

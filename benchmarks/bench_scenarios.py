@@ -11,7 +11,7 @@ Measures what the scenario layer adds on top of a plain run:
 """
 
 from benchmarks.conftest import bench_workers
-from repro.experiments.runner import Fidelity, run_once
+from repro.experiments.runner import Fidelity
 from repro.experiments.store import ResultStore
 from repro.experiments.sweep import SweepExecutor, SweepSpec
 from repro.scenarios.library import build_scenario
@@ -20,21 +20,23 @@ from repro.traffic.bandwidth_sets import BW_SET_1
 BENCH_FIDELITY = Fidelity("bench-scen", 700, 100, (0.4, 0.9))
 
 
-def test_steady_passthrough(benchmark):
+def test_steady_passthrough(benchmark, session):
     """Per-run cost of the player when the script changes nothing."""
     result = benchmark.pedantic(
-        lambda: run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0,
-                         BENCH_FIDELITY, seed=1, scenario="steady"),
+        lambda: session.run_one("dhetpnoc", BW_SET_1, "skewed3", 400.0,
+                                fidelity=BENCH_FIDELITY, seed=1,
+                                scenario="steady"),
         rounds=1, iterations=1,
     )
     assert result.packets_delivered > 0
 
 
-def test_multiphase_scenario_run(benchmark):
+def test_multiphase_scenario_run(benchmark, session):
     """Rebinds, faults and windows: the full-featured upper bound."""
     result = benchmark.pedantic(
-        lambda: run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0,
-                         BENCH_FIDELITY, seed=1, scenario="fault_storm"),
+        lambda: session.run_one("dhetpnoc", BW_SET_1, "skewed3", 400.0,
+                                fidelity=BENCH_FIDELITY, seed=1,
+                                scenario="fault_storm"),
         rounds=1, iterations=1,
     )
     assert sum(p.faults_fired for p in result.phases) > 0

@@ -18,8 +18,8 @@ import pathlib
 
 import pytest
 
+from repro.api.session import Session
 from repro.experiments.runner import default_store, fidelity_from_env
-from repro.experiments.sweep import SweepExecutor
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -41,14 +41,14 @@ def bench_workers() -> int:
 
 
 @pytest.fixture(scope="session")
-def executor() -> SweepExecutor:
-    """Session-wide sweep executor over the shared in-memory store.
+def session() -> Session:
+    """Session-wide :class:`repro.api.Session` over the shared store.
 
     Every figure bench runs its grid through this, so the perf numbers
     track the parallel orchestration path and exhibits that share sweep
     points (3-3/3-4, 3-7/3-8/3-9) pay for them once.
     """
-    return SweepExecutor(workers=bench_workers(), store=default_store())
+    return Session(default_store(), workers=bench_workers())
 
 
 @pytest.fixture(scope="session")

@@ -24,8 +24,9 @@ from repro.area import (
     mrr_area_mm2,
     restricted_dhetpnoc_counts,
 )
+from repro.api import ExperimentSpec, Session
 from repro.experiments.report import ascii_table, percent_change
-from repro.experiments.runner import QUICK_FIDELITY, PAPER_FIDELITY, peak_result
+from repro.experiments.runner import QUICK_FIDELITY, PAPER_FIDELITY
 from repro.traffic import BANDWIDTH_SETS
 
 WAVELENGTH_TOTALS = (64, 128, 256, 512)
@@ -75,10 +76,19 @@ def area_tables() -> None:
 
 
 def performance_scaling(fidelity, seed: int) -> None:
+    spec = ExperimentSpec(
+        archs=("dhetpnoc",),
+        bw_sets=tuple(s.index for s in BANDWIDTH_SETS),
+        patterns=("skewed3",),
+        seeds=(seed,),
+        fidelity=fidelity,
+        derive_seeds=False,
+    )
+    peaks = Session().peaks(spec)
     rows = []
     base_bw = base_epm = base_area = None
     for bw_set in BANDWIDTH_SETS:
-        result = peak_result("dhetpnoc", bw_set, "skewed3", fidelity, seed)
+        result = peaks[("dhetpnoc", bw_set.index, "skewed3", None, seed)]
         area = dhetpnoc_area_mm2(bw_set.total_wavelengths)
         if base_bw is None:
             base_bw, base_epm, base_area = (

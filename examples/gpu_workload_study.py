@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ExperimentSpec, Session
 from repro.experiments.report import ascii_table, percent_change
-from repro.experiments.runner import QUICK_FIDELITY, PAPER_FIDELITY, peak_of, saturation_sweep
+from repro.experiments.runner import QUICK_FIDELITY, PAPER_FIDELITY, peak_of
 from repro.gpu import GPU_BENCHMARKS, GpuMemoryModel
 from repro.traffic import APP_PROFILES, BW_SET_1, place_applications
 from repro.traffic.patterns import RealApplicationTraffic
@@ -66,10 +67,14 @@ def main() -> None:
     show_motivation()
     show_placement()
 
+    session = Session()
     rows = []
     peaks = {}
     for arch in ("firefly", "dhetpnoc"):
-        sweep = saturation_sweep(arch, BW_SET_1, "real_app", fidelity, seed=args.seed)
+        sweep = session.run(ExperimentSpec(
+            archs=(arch,), bw_sets=(BW_SET_1.index,), patterns=("real_app",),
+            seeds=(args.seed,), fidelity=fidelity, derive_seeds=False,
+        ))
         peak = peak_of(sweep)
         peaks[arch] = peak
         rows.append([

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import Session
 from repro.experiments.report import ascii_table, percent_change, phase_table
-from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, Fidelity, run_once
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, Fidelity
 from repro.scenarios.library import build_scenario
 from repro.traffic.bandwidth_sets import BW_SET_1
 
@@ -39,9 +40,10 @@ def main() -> None:
     }[args.fidelity]
     offered = args.load_fraction * BW_SET_1.aggregate_gbps
 
+    session = Session()
     results = {}
     for arch in ("firefly", "dhetpnoc"):
-        results[arch] = run_once(
+        results[arch] = session.run_one(
             arch, BW_SET_1, "skewed2", offered,
             fidelity=fidelity, seed=args.seed, scenario=SCENARIO,
         )

@@ -12,13 +12,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import ExperimentSpec, Session
 from repro.experiments.report import ascii_table, bar, percent_change
-from repro.experiments.runner import (
-    PAPER_FIDELITY,
-    QUICK_FIDELITY,
-    peak_of,
-    saturation_sweep,
-)
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, peak_of
 from repro.traffic import BW_SET_1
 
 PATTERNS = ("uniform", "skewed1", "skewed2", "skewed3")
@@ -31,14 +27,16 @@ def main() -> None:
     args = parser.parse_args()
     fidelity = PAPER_FIDELITY if args.fidelity == "paper" else QUICK_FIDELITY
 
+    session = Session()
     rows = []
     curves = {}
     for pattern in PATTERNS:
         sweeps = {}
         for arch in ("firefly", "dhetpnoc"):
-            sweeps[arch] = saturation_sweep(
-                arch, BW_SET_1, pattern, fidelity, seed=args.seed
-            )
+            sweeps[arch] = session.run(ExperimentSpec(
+                archs=(arch,), bw_sets=(BW_SET_1.index,), patterns=(pattern,),
+                seeds=(args.seed,), fidelity=fidelity, derive_seeds=False,
+            ))
         ff_peak = peak_of(sweeps["firefly"])
         dh_peak = peak_of(sweeps["dhetpnoc"])
         curves[pattern] = sweeps

@@ -24,6 +24,15 @@ Build and run the proposed architecture against the baseline::
     noc.finalize()
     print(noc.metrics.delivered_gbps(config.clock_hz), "Gb/s")
 
+Or drive everything through the declarative API (see ``docs/api.md``)::
+
+    from repro import ExperimentSpec, Session
+
+    spec = ExperimentSpec(patterns=("skewed3",), bw_sets=(1,))
+    with Session(workers=4) as session:
+        for curve, peak in session.peaks(spec).items():
+            print(curve, peak.delivered_gbps)
+
 Or regenerate a thesis exhibit directly::
 
     from repro.experiments.figures import figure_3_3
@@ -47,7 +56,18 @@ from repro.traffic import (
     pattern_by_name,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api.base import lazy_exports
+
+#: Heavy experiment-API members, imported lazily (PEP 562) so that
+#: ``import repro`` stays light.
+_API_EXPORTS = {
+    "ExperimentSpec": ("repro.api.spec", "ExperimentSpec"),
+    "Session": ("repro.api.session", "Session"),
+    "open_session": ("repro.api.session", "open_session"),
+    "api": ("repro.api", None),
+}
 
 __all__ = [
     "BANDWIDTH_SETS",
@@ -55,11 +75,18 @@ __all__ = [
     "BW_SET_2",
     "BW_SET_3",
     "DHetPNoC",
+    "ExperimentSpec",
     "FireflyNoC",
     "RandomStreams",
+    "Session",
     "Simulator",
     "SystemConfig",
     "TrafficGenerator",
+    "api",
+    "open_session",
     "pattern_by_name",
     "__version__",
 ]
+
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _API_EXPORTS)

@@ -1,0 +1,55 @@
+"""The unified plugin-registry namespace.
+
+Every extensible lookup table of the reproduction, in one place:
+
+==================  =====================================  =========================
+registry            entry                                  unknown-name error
+==================  =====================================  =========================
+``architectures``   ``builder(sim, config, pattern)``      ``ValueError``
+``patterns``        traffic-pattern factory                ``PatternError``
+``scenarios``       ``(description, builder)``             ``ScenarioError``
+``store_backends``  ``factory(path) -> StoreBackend``      ``ValueError``
+``bandwidth_sets``  :class:`BandwidthSet` (keyed by index) ``KeyError``
+``fidelities``      :class:`Fidelity` (keyed by name)      ``ValueError``
+==================  =====================================  =========================
+
+Each registry lives next to its domain (``repro.arch.registry``,
+``repro.traffic.patterns``, ...) and is re-exported here, so extending
+the system is one import and one call::
+
+    from repro.api import registry
+
+    @registry.architectures.register("my_noc")
+    def _build(sim, config, pattern):
+        return MyNoC(sim, config)
+
+    registry.scenarios.register(
+        "my_storm", ("a custom fault script", my_builder))
+
+Registered names propagate everywhere automatically: CLI choices,
+:class:`~repro.api.spec.ExperimentSpec` validation, sweep execution.
+All registries share :class:`~repro.api.base.Registry` semantics —
+duplicate registration needs ``override=True``, unknown names raise the
+domain error listed above.
+"""
+
+from __future__ import annotations
+
+from repro.api.base import Registry, RegistryError
+from repro.arch.registry import architectures
+from repro.experiments.runner import fidelities
+from repro.experiments.store import store_backends
+from repro.scenarios.library import scenarios
+from repro.traffic.bandwidth_sets import bandwidth_sets
+from repro.traffic.patterns import patterns
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "architectures",
+    "bandwidth_sets",
+    "fidelities",
+    "patterns",
+    "scenarios",
+    "store_backends",
+]

@@ -1,0 +1,236 @@
+"""``Session``: the facade every experiment surface drives through.
+
+A session owns the three stateful pieces the experiment layer needs —
+the :class:`~repro.experiments.sweep.SweepExecutor` (worker pool +
+config/fingerprint caches), the :class:`~repro.experiments.store.
+ResultStore` backend, and the system configuration — behind a
+context-manager lifecycle::
+
+    from repro.api import ExperimentSpec, Session
+
+    spec = ExperimentSpec(patterns=("skewed3",), bw_sets=(1,))
+    with Session("results/store.jsonl", workers=4) as session:
+        results = session.run(spec)              # every grid point
+        peaks = session.peaks(spec)              # per-curve saturation peaks
+        knees = session.adaptive(spec)           # knee-bisection estimates
+
+Execution is exactly the sweep layer underneath: results are bitwise
+identical to the historic free functions (``saturation_sweep``,
+``peak_result``) for equivalent inputs, and store keys match point for
+point, so stores written by either path are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.arch.config import SystemConfig
+from repro.experiments.runner import (
+    Fidelity,
+    QUICK_FIDELITY,
+    RunResult,
+    _run_once,
+    set_default_store,
+)
+from repro.experiments.store import ResultStore, StoreBackend, open_store
+from repro.experiments.sweep import (
+    KneeEstimate,
+    ReplicatedPeak,
+    SweepExecutor,
+    adaptive_knee_sweep,
+    replication_summary,
+)
+from repro.traffic.bandwidth_sets import BandwidthSet, bandwidth_set_by_index
+
+__all__ = ["Session", "open_session"]
+
+#: Anything a :class:`Session` accepts as its store argument.
+StoreLike = Union[None, str, ResultStore, StoreBackend]
+
+
+def _resolve_store(store: StoreLike, backend: str) -> ResultStore:
+    """Coerce the ``Session(store=...)`` argument to a ResultStore."""
+    if store is None:
+        return ResultStore()
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, StoreBackend):
+        return ResultStore(backend=store)
+    return open_store(str(store), backend)
+
+
+class Session:
+    """Owns executor + store + config for a family of experiments.
+
+    Args:
+        store: ``None`` for a fresh in-memory store, a path (JSONL file
+            or shard directory), or an existing
+            :class:`~repro.experiments.store.ResultStore` /
+            :class:`~repro.experiments.store.StoreBackend`.
+        workers: Simulation worker processes (1 = serial). The pool is
+            created lazily and survives across calls; ``close()`` — or
+            leaving a ``with`` block — releases it.
+        backend: Store-backend name for path stores (an
+            ``repro.api.registry.store_backends`` name or ``"auto"``).
+        config: Optional :class:`~repro.arch.config.SystemConfig`
+            override applied to every run of this session.
+    """
+
+    def __init__(
+        self,
+        store: StoreLike = None,
+        *,
+        workers: int = 1,
+        backend: str = "auto",
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        self.store = _resolve_store(store, backend)
+        self.executor = SweepExecutor(
+            workers=workers, store=self.store, config=config
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Worker-pool width this session fans misses out over."""
+        return self.executor.workers
+
+    @property
+    def config(self) -> Optional[SystemConfig]:
+        """The session-wide config override (``None`` = per-set default)."""
+        return self.executor.config
+
+    @property
+    def executed_count(self) -> int:
+        """Points actually simulated by the last execution call."""
+        return self.executor.executed_count
+
+    def close(self) -> None:
+        """Release the worker pool and flush the store."""
+        self.executor.close()
+        self.store.flush()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> List[RunResult]:
+        """Execute every grid point of *spec*; results in grid order.
+
+        Store hits are free; misses fan out over the worker pool.
+        Requires ``mode="grid"`` (use :meth:`adaptive` for knee specs).
+        """
+        if spec.mode != "grid":
+            raise ValueError(
+                f"Session.run() executes grid specs; this spec has "
+                f"mode={spec.mode!r} (use Session.adaptive())"
+            )
+        return self.executor.run(spec.to_sweep_spec())
+
+    def peaks(
+        self, spec: ExperimentSpec
+    ) -> Dict[Tuple[str, int, str, Optional[str], int], RunResult]:
+        """Per-curve saturation peaks of *spec*, keyed by curve
+        coordinates ``(arch, bw_set, pattern, scenario, base_seed)``."""
+        if spec.mode == "adaptive":
+            return {
+                (e.arch, e.bw_set_index, e.pattern, e.scenario, e.base_seed):
+                    e.peak
+                for e in self.adaptive(spec)
+            }
+        return self.executor.peaks(spec.to_sweep_spec())
+
+    def adaptive(self, spec: ExperimentSpec) -> List[KneeEstimate]:
+        """Knee-bisection search for every curve of *spec*.
+
+        Curves iterate in spec axis order (arch, bw set, pattern,
+        scenario, seed). A ``load_fractions`` override caps the search
+        range (its maximum plays the role the fidelity grid's maximum
+        plays by default). Each estimate's points run through this
+        session's store, so coinciding loads are shared with grid runs.
+        """
+        max_fraction = (
+            max(spec.load_fractions) if spec.load_fractions else None
+        )
+        estimates = []
+        for arch in spec.archs:
+            for bw_index in spec.bw_sets:
+                for pattern in spec.patterns:
+                    for scenario in spec.scenarios:
+                        for seed in spec.seeds:
+                            estimates.append(
+                                adaptive_knee_sweep(
+                                    arch,
+                                    bw_index,
+                                    pattern,
+                                    spec.fidelity,
+                                    executor=self.executor,
+                                    seed=seed,
+                                    scenario=scenario,
+                                    resolution=spec.resolution,
+                                    max_fraction=max_fraction,
+                                    derive_seeds=spec.derive_seeds,
+                                )
+                            )
+        return estimates
+
+    def replicated(self, spec: ExperimentSpec) -> List[ReplicatedPeak]:
+        """Fold the seed axis into mean +/- spread rows per curve family."""
+        return replication_summary(spec.to_sweep_spec(), self.executor)
+
+    def run_one(
+        self,
+        arch: str,
+        bw_set: Union[BandwidthSet, int],
+        pattern: str,
+        offered_gbps: float,
+        *,
+        fidelity: Fidelity = QUICK_FIDELITY,
+        seed: int = 1,
+        scenario: Optional[str] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> RunResult:
+        """Simulate a single fully-specified point, bypassing the store.
+
+        The non-deprecated replacement for the legacy ``run_once`` free
+        function (identical semantics; ``bw_set`` additionally accepts
+        a registry index). Uses the session config unless *config*
+        overrides it.
+        """
+        if isinstance(bw_set, int):
+            bw_set = bandwidth_set_by_index(bw_set)
+        return _run_once(
+            arch,
+            bw_set,
+            pattern,
+            offered_gbps,
+            fidelity=fidelity,
+            seed=seed,
+            config=config if config is not None else self.config,
+            scenario=scenario,
+        )
+
+
+def open_session(
+    store: StoreLike = None,
+    *,
+    workers: int = 1,
+    backend: str = "auto",
+    config: Optional[SystemConfig] = None,
+    make_default: bool = False,
+) -> Session:
+    """Build a :class:`Session`; optionally adopt its store process-wide.
+
+    With ``make_default=True`` the session's store also becomes the
+    process-wide default store (the one legacy ``peak_result``-style
+    shims read), so old and new call sites share every cached point —
+    this is what the CLI does with ``--store``.
+    """
+    session = Session(store, workers=workers, backend=backend, config=config)
+    if make_default:
+        set_default_store(session.store)
+    return session

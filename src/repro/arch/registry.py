@@ -1,0 +1,44 @@
+"""The architecture registry: name -> NoC builder.
+
+Replaces the historic ``runner.ARCHITECTURES`` tuple and the if/else
+dispatch in ``runner.build_arch``/``sweep._execute_point``. Each entry
+is a builder::
+
+    builder(sim: Simulator, config: SystemConfig,
+            pattern: TrafficPattern) -> PhotonicCrossbarNoC
+
+A new architecture becomes sweepable everywhere (runner, sweeps, specs,
+CLI choices) with one call::
+
+    from repro.api.registry import architectures
+
+    @architectures.register("my_noc")
+    def _build_my_noc(sim, config, pattern):
+        return MyNoC(sim, config)
+
+Unknown names raise ``ValueError`` (the historic ``build_arch``
+contract).
+"""
+
+from __future__ import annotations
+
+from repro.api.base import Registry
+from repro.arch.dhetpnoc import DHetPNoC
+from repro.arch.firefly import FireflyNoC
+
+__all__ = ["architectures"]
+
+#: Registry of ``name -> builder(sim, config, pattern)``.
+architectures = Registry("architecture", error=ValueError)
+
+
+@architectures.register("firefly")
+def _build_firefly(sim, config, pattern):
+    """Statically-split Firefly baseline (ignores the traffic pattern)."""
+    return FireflyNoC(sim, config)
+
+
+@architectures.register("dhetpnoc")
+def _build_dhetpnoc(sim, config, pattern):
+    """The proposed d-HetPNoC with token-based DBA."""
+    return DHetPNoC(sim, config, pattern=pattern)

@@ -5,6 +5,7 @@ Examples::
     dhetpnoc-repro list
     dhetpnoc-repro run figure-3-3 --fidelity quick --seed 1 --workers 4
     dhetpnoc-repro run table-3-5
+    dhetpnoc-repro run --spec spec.json --workers 4 --store results/store.jsonl
     dhetpnoc-repro all --fidelity quick --workers 4 --store results/store.jsonl
     dhetpnoc-repro sweep --arch firefly dhetpnoc --pattern uniform skewed3 \\
         --bw-set 1 --seeds 1 2 3 --workers 4 --store results/store.jsonl
@@ -16,14 +17,24 @@ Examples::
     dhetpnoc-repro scenarios run hotspot_drift --arch firefly dhetpnoc
     dhetpnoc-repro scenarios sweep --scenario steady fault_storm --workers 4
 
+Every command is a thin wrapper over :mod:`repro.api`: flags build an
+:class:`~repro.api.ExperimentSpec` (one shared builder serves ``sweep``,
+``scenarios sweep`` and ``run --spec``), and a
+:class:`~repro.api.Session` owns the worker pool and the result store.
+``run --spec spec.json`` executes a fully declarative experiment — the
+JSON form of a spec (``ExperimentSpec.save``/``load``) — and produces
+bitwise-identical results and store keys to the equivalent flag-based
+invocation. Architecture, bandwidth-set, fidelity and store-backend
+choices all derive from the :mod:`repro.api.registry` tables, so a
+``register()``-ed plugin appears here automatically.
+
 ``--workers`` fans the sweep grid out over a process pool; ``--store``
 persists every simulated point as JSONL so re-runs (and other exhibits
 sharing the same points) are instant cache hits. ``--store-backend
 sharded`` (or a directory path) splits the store into one shard per
-(architecture, bandwidth set) so resuming loads only the shards a run
-touches; ``store compact`` dedupes and rewrites a store offline.
-``sweep --adaptive`` replaces the fixed load grid with the
-knee-bisection search (see docs/sweeps.md). The ``scenarios``
+(architecture, bandwidth set); ``store compact`` dedupes and rewrites a
+store offline. ``sweep --adaptive`` replaces the fixed load grid with
+the knee-bisection search (see docs/sweeps.md). The ``scenarios``
 subcommands script time-varying workloads (see docs/scenarios.md).
 """
 
@@ -34,38 +45,43 @@ import inspect
 import sys
 from typing import List, Optional
 
+from repro.api.registry import architectures, bandwidth_sets, fidelities
+from repro.api.session import Session, open_session
+from repro.api.spec import ExperimentSpec
 from repro.experiments.figures import ALL_EXHIBITS
 from repro.experiments.report import ascii_table, mean_spread, percent_change
-from repro.experiments.runner import (
-    PAPER_FIDELITY,
-    QUICK_FIDELITY,
-    default_store,
-    set_default_store,
-)
+from repro.experiments.runner import QUICK_FIDELITY, default_store
+from repro.experiments.store import backend_names
 
 
 def _fidelity(name: str):
-    if name == "paper":
-        return PAPER_FIDELITY
-    if name == "quick":
-        return QUICK_FIDELITY
-    raise argparse.ArgumentTypeError(f"unknown fidelity {name!r} (paper|quick)")
+    """argparse type: resolve ``--fidelity`` via the fidelity registry."""
+    try:
+        return fidelities.get(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown fidelity {name!r} ({'|'.join(fidelities.names())})"
+        )
 
 
-def _make_executor(
+def _make_session(
     workers: int, store_path: Optional[str], store_backend: str = "auto"
-):
-    """Build the session executor; ``--store`` also becomes the default
-    store so legacy ``peak_result`` paths persist their points too."""
-    from repro.experiments.store import open_store
-    from repro.experiments.sweep import SweepExecutor
+) -> Session:
+    """Build the command's :class:`Session`.
 
+    ``--store`` also becomes the process-wide default store so legacy
+    ``peak_result``-style paths persist their points too; without it
+    the session shares the existing default store.
+    """
     if store_path:
-        set_default_store(open_store(store_path, store_backend))
-    return SweepExecutor(workers=workers, store=default_store())
+        return open_session(
+            store_path, backend=store_backend, workers=workers,
+            make_default=True,
+        )
+    return Session(default_store(), workers=workers)
 
 
-def _call_exhibit(name: str, fidelity, seed: int, executor=None) -> str:
+def _call_exhibit(name: str, fidelity, seed: int, session=None) -> str:
     fn = ALL_EXHIBITS[name]
     kwargs = {}
     signature = inspect.signature(fn)
@@ -73,8 +89,8 @@ def _call_exhibit(name: str, fidelity, seed: int, executor=None) -> str:
         kwargs["fidelity"] = fidelity
     if "seed" in signature.parameters:
         kwargs["seed"] = seed
-    if executor is not None and "executor" in signature.parameters:
-        kwargs["executor"] = executor
+    if session is not None and "session" in signature.parameters:
+        kwargs["session"] = session
     return fn(**kwargs).render()
 
 
@@ -99,11 +115,33 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--store-backend", default="auto",
-        choices=["auto", "jsonl", "sharded"],
+        # "memory" is excluded: pairing it with --store would silently
+        # drop persistence, and without --store "auto" is memory anyway.
+        choices=[n for n in backend_names() if n != "memory"],
         help="store layout: one monolithic JSONL file, or one shard per "
         "(arch, bandwidth set) under a directory (default: auto — a "
         "directory path selects sharded)",
     )
+
+
+def _add_grid_axes(parser: argparse.ArgumentParser) -> None:
+    """The shared (arch, bw set, pattern, seeds, fidelity) axis flags.
+
+    The default grid is pinned to the thesis pair; registered plugin
+    architectures appear in the *choices* but never silently join a
+    default sweep.
+    """
+    parser.add_argument(
+        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
+        choices=list(architectures.names()),
+    )
+    parser.add_argument(
+        "--bw-set", nargs="+", type=int, default=[1],
+        choices=sorted(bandwidth_sets.names()),
+    )
+    parser.add_argument("--pattern", nargs="+", default=["uniform"])
+    parser.add_argument("--seeds", nargs="+", type=int, default=[1])
+    parser.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,10 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available exhibits")
 
-    run = sub.add_parser("run", help="regenerate one exhibit")
-    run.add_argument("exhibit", choices=sorted(ALL_EXHIBITS))
-    run.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
-    run.add_argument("--seed", type=int, default=1)
+    run = sub.add_parser(
+        "run", help="regenerate one exhibit, or execute a declarative spec"
+    )
+    run.add_argument("exhibit", nargs="?", choices=sorted(ALL_EXHIBITS))
+    run.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="execute a declarative ExperimentSpec JSON file instead of a "
+        "named exhibit (bitwise-equivalent to the matching sweep flags)",
+    )
+    # Defaults resolve in main(): a spec carries its own fidelity/seed,
+    # so pairing these flags with --spec is an error, not a silent no-op.
+    run.add_argument("--fidelity", type=_fidelity, default=None)
+    run.add_argument("--seed", type=int, default=None)
     _add_parallel_options(run)
 
     everything = sub.add_parser("all", help="regenerate every exhibit")
@@ -143,15 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a custom saturation sweep grid (multi-seed replication "
         "reports mean +/- std across seeds)",
     )
-    sweep.add_argument(
-        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
-        choices=["firefly", "dhetpnoc"],
-    )
-    sweep.add_argument("--bw-set", nargs="+", type=int, default=[1],
-                       choices=[1, 2, 3])
-    sweep.add_argument("--pattern", nargs="+", default=["uniform"])
-    sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
-    sweep.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    _add_grid_axes(sweep)
     sweep.add_argument(
         "--fixed-seeds", action="store_true",
         help="use base seeds verbatim instead of per-curve derived seeds",
@@ -180,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--store", required=True, metavar="PATH")
         cmd.add_argument(
             "--store-backend", default="auto",
-            choices=["auto", "jsonl", "sharded"],
+            choices=list(backend_names()),
         )
 
     scenarios = sub.add_parser(
@@ -201,11 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("name")
     scen_run.add_argument(
         "--arch", nargs="+", default=["dhetpnoc"],
-        choices=["firefly", "dhetpnoc"],
+        choices=list(architectures.names()),
     )
     scen_run.add_argument("--pattern", default="uniform",
                           help="base pattern for phases that do not rebind")
-    scen_run.add_argument("--bw-set", type=int, default=1, choices=[1, 2, 3])
+    scen_run.add_argument("--bw-set", type=int, default=1,
+                          choices=sorted(bandwidth_sets.names()))
     scen_run.add_argument(
         "--load-fraction", type=float, default=0.6,
         help="base offered load as a fraction of aggregate photonic capacity",
@@ -217,15 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="saturation sweep with a scenario axis"
     )
     scen_sweep.add_argument("--scenario", nargs="+", default=["steady"])
-    scen_sweep.add_argument(
-        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
-        choices=["firefly", "dhetpnoc"],
-    )
-    scen_sweep.add_argument("--pattern", nargs="+", default=["uniform"])
-    scen_sweep.add_argument("--bw-set", nargs="+", type=int, default=[1],
-                            choices=[1, 2, 3])
-    scen_sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
-    scen_sweep.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    _add_grid_axes(scen_sweep)
     _add_parallel_options(scen_sweep)
 
     return parser
@@ -248,118 +280,153 @@ def _invalid_patterns(names, prog: str) -> bool:
     return False
 
 
-def _run_adaptive_sweep(args, executor) -> int:
-    """``sweep --adaptive``: knee-bisection search per curve."""
-    from repro.experiments.sweep import adaptive_knee_sweep
+def _spec_from_args(args, scenarios=(None,), mode: str = "grid") -> ExperimentSpec:
+    """The one spec builder behind ``sweep`` and ``scenarios sweep``."""
+    return ExperimentSpec(
+        archs=tuple(args.arch),
+        bw_sets=tuple(args.bw_set),
+        patterns=tuple(args.pattern),
+        scenarios=tuple(scenarios),
+        seeds=tuple(args.seeds),
+        fidelity=args.fidelity,
+        derive_seeds=not getattr(args, "fixed_seeds", False),
+        mode=mode,
+        resolution=getattr(args, "resolution", 0.05),
+    )
 
+
+def _scenario_axis(spec: ExperimentSpec) -> bool:
+    """Whether the spec sweeps named scenarios (adds a report column)."""
+    return any(s is not None for s in spec.scenarios)
+
+
+def _print_adaptive(spec: ExperimentSpec, session: Session) -> int:
+    """Render knee-bisection estimates for every curve of *spec*."""
+    with_scenario = _scenario_axis(spec)
+    estimates = session.adaptive(spec)
     rows = []
     total_sims = 0
-    for arch in args.arch:
-        for bw_index in args.bw_set:
-            for pattern in args.pattern:
-                for seed in args.seeds:
-                    est = adaptive_knee_sweep(
-                        arch, bw_index, pattern, args.fidelity,
-                        executor=executor, seed=seed,
-                        resolution=args.resolution,
-                        derive_seeds=not args.fixed_seeds,
-                    )
-                    total_sims += est.n_simulated
-                    rows.append([
-                        arch,
-                        f"set{bw_index}",
-                        pattern,
-                        seed,
-                        "-" if est.analytic_knee_gbps is None
-                        else f"{est.analytic_knee_gbps:.0f}",
-                        f"{est.knee_gbps:.0f}"
-                        + ("" if est.saturated else ">"),
-                        f"{est.peak.delivered_gbps:.1f}",
-                        f"{est.peak.offered_gbps:.0f}",
-                        est.n_evaluated,
-                    ])
-    grid_points = round(max(args.fidelity.load_fractions) / args.resolution)
+    for est in estimates:
+        total_sims += est.n_simulated
+        row = [
+            est.arch,
+            f"set{est.bw_set_index}",
+            est.pattern,
+            est.base_seed,
+            "-" if est.analytic_knee_gbps is None
+            else f"{est.analytic_knee_gbps:.0f}",
+            f"{est.knee_gbps:.0f}" + ("" if est.saturated else ">"),
+            f"{est.peak.delivered_gbps:.1f}",
+            f"{est.peak.offered_gbps:.0f}",
+            est.n_evaluated,
+        ]
+        if with_scenario:
+            row.insert(0, est.scenario or "-")
+        rows.append(row)
+    search_max = max(spec.load_fractions or spec.fidelity.load_fractions)
+    grid_points = round(search_max / spec.resolution)
     title = (
-        f"Adaptive saturation knees ({args.fidelity.name} fidelity, "
-        f"resolution {args.resolution:g}, {total_sims} simulated vs "
+        f"Adaptive saturation knees ({spec.fidelity.name} fidelity, "
+        f"resolution {spec.resolution:g}, {total_sims} simulated vs "
         f"{grid_points * len(rows)} for the equivalent fixed grid)"
     )
-    print(
-        ascii_table(
-            ["arch", "bw set", "pattern", "seed", "analytic knee Gb/s",
-             "measured knee Gb/s", "peak Gb/s", "peak offered", "evals"],
-            rows,
-            title=title,
-        )
-    )
+    headers = ["arch", "bw set", "pattern", "seed", "analytic knee Gb/s",
+               "measured knee Gb/s", "peak Gb/s", "peak offered", "evals"]
+    if with_scenario:
+        headers.insert(0, "scenario")
+    print(ascii_table(headers, rows, title=title))
     return 0
 
 
-def _run_sweep(args) -> int:
-    from repro.experiments.sweep import SweepSpec, replication_summary
+def _print_replication(spec: ExperimentSpec, session: Session) -> int:
+    """Render per-curve peak replication (the grid-mode report)."""
+    with_scenario = _scenario_axis(spec)
+    summaries = session.replicated(spec)
+    rows = []
+    for s in summaries:
+        row = [
+            s.arch,
+            f"set{s.bw_set_index}",
+            s.pattern,
+            mean_spread(s.delivered_gbps.mean, s.delivered_gbps.std),
+            mean_spread(
+                s.energy_per_message_pj.mean, s.energy_per_message_pj.std, 0
+            ),
+            mean_spread(s.mean_latency_cycles.mean, s.mean_latency_cycles.std),
+            len(s.seeds),
+        ]
+        if with_scenario:
+            row.insert(0, s.scenario or "-")
+        rows.append(row)
+    kind = "Scenario saturation peaks" if with_scenario else "Saturation peaks"
+    title = (
+        f"{kind} ({spec.fidelity.name} fidelity, "
+        f"{spec.n_points()} points, {session.executed_count} simulated)"
+    )
+    headers = ["arch", "bw set", "pattern", "peak Gb/s", "EPM pJ",
+               "latency cyc", "seeds"]
+    if with_scenario:
+        headers.insert(0, "scenario")
+    print(ascii_table(headers, rows, title=title))
+    _print_gain_notes(spec, summaries, with_scenario)
+    return 0
 
+
+def _print_gain_notes(spec, summaries, with_scenario: bool) -> None:
+    """The d-HetPNoC-vs-Firefly peak-gain notes under a sweep table."""
+    if not {"firefly", "dhetpnoc"} <= set(spec.archs):
+        return
+    by_key = {
+        (s.scenario, s.arch, s.bw_set_index, s.pattern): s for s in summaries
+    }
+    for scenario in spec.scenarios:
+        for bw_index in spec.bw_sets:
+            for pattern in spec.patterns:
+                ff = by_key[(scenario, "firefly", bw_index, pattern)]
+                dh = by_key[(scenario, "dhetpnoc", bw_index, pattern)]
+                gain = percent_change(
+                    dh.delivered_gbps.mean, ff.delivered_gbps.mean
+                )
+                prefix = f"{scenario}/" if with_scenario else ""
+                print(
+                    f"note: {prefix}set{bw_index}/{pattern}: d-HetPNoC peak "
+                    f"gain {gain:+.2f}% over Firefly"
+                )
+
+
+def _execute_spec(spec: ExperimentSpec, session: Session) -> int:
+    """Dispatch a spec to the matching renderer (grid vs adaptive)."""
+    if spec.mode == "adaptive":
+        return _print_adaptive(spec, session)
+    return _print_replication(spec, session)
+
+
+def _run_sweep(args) -> int:
     if _invalid_patterns(args.pattern, "sweep"):
         return 2
-
-    executor = _make_executor(args.workers, args.store, args.store_backend)
-    if args.adaptive:
-        return _run_adaptive_sweep(args, executor)
     try:
-        spec = SweepSpec(
-            archs=tuple(args.arch),
-            bw_set_indices=tuple(args.bw_set),
-            patterns=tuple(args.pattern),
-            seeds=tuple(args.seeds),
-            fidelity=args.fidelity,
-            derive_seeds=not args.fixed_seeds,
+        spec = _spec_from_args(
+            args, mode="adaptive" if args.adaptive else "grid"
         )
     except ValueError as exc:  # e.g. duplicate axis values
         print(f"dhetpnoc-repro sweep: error: {exc}", file=sys.stderr)
         return 2
-    summaries = replication_summary(spec, executor)
-    rows = []
-    for s in summaries:
-        rows.append(
-            [
-                s.arch,
-                f"set{s.bw_set_index}",
-                s.pattern,
-                mean_spread(s.delivered_gbps.mean, s.delivered_gbps.std),
-                mean_spread(
-                    s.energy_per_message_pj.mean, s.energy_per_message_pj.std, 0
-                ),
-                mean_spread(
-                    s.mean_latency_cycles.mean, s.mean_latency_cycles.std
-                ),
-                len(s.seeds),
-            ]
-        )
-    title = (
-        f"Saturation peaks ({args.fidelity.name} fidelity, "
-        f"{spec.n_points()} points, {executor.executed_count} simulated)"
-    )
-    print(
-        ascii_table(
-            ["arch", "bw set", "pattern", "peak Gb/s", "EPM pJ",
-             "latency cyc", "seeds"],
-            rows,
-            title=title,
-        )
-    )
-    by_key = {(s.arch, s.bw_set_index, s.pattern): s for s in summaries}
-    if "firefly" in args.arch and "dhetpnoc" in args.arch:
-        for bw_index in args.bw_set:
-            for pattern in args.pattern:
-                ff = by_key[("firefly", bw_index, pattern)]
-                dh = by_key[("dhetpnoc", bw_index, pattern)]
-                gain = percent_change(
-                    dh.delivered_gbps.mean, ff.delivered_gbps.mean
-                )
-                print(
-                    f"note: set{bw_index}/{pattern}: d-HetPNoC peak gain "
-                    f"{gain:+.2f}% over Firefly"
-                )
-    return 0
+    session = _make_session(args.workers, args.store, args.store_backend)
+    return _execute_spec(spec, session)
+
+
+def _run_spec_file(args) -> int:
+    """``run --spec spec.json``: fully declarative execution."""
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    # KeyError: registry lookups keyed by non-string names (an unknown
+    # bandwidth-set index) raise it rather than ValueError.
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"dhetpnoc-repro run: error: bad spec {args.spec!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    session = _make_session(args.workers, args.store, args.store_backend)
+    return _execute_spec(spec, session)
 
 
 def _run_store(args) -> int:
@@ -431,7 +498,6 @@ def _run_scenarios(args) -> int:
 
     if args.scenario_command == "run":
         from repro.experiments.report import phase_table
-        from repro.experiments.runner import run_once
         from repro.traffic.bandwidth_sets import bandwidth_set_by_index
 
         if args.name not in scenario_names():
@@ -443,10 +509,11 @@ def _run_scenarios(args) -> int:
             return 2
         if _invalid_patterns([args.pattern], "scenarios run"):
             return 2
+        session = Session(default_store())
         bw_set = bandwidth_set_by_index(args.bw_set)
         offered = args.load_fraction * bw_set.aggregate_gbps
         for arch in args.arch:
-            result = run_once(
+            result = session.run_one(
                 arch, bw_set, args.pattern, offered,
                 fidelity=args.fidelity, seed=args.seed, scenario=args.name,
             )
@@ -462,8 +529,6 @@ def _run_scenarios(args) -> int:
         return 0
 
     # scenarios sweep
-    from repro.experiments.sweep import SweepSpec, replication_summary
-
     unknown = [s for s in args.scenario if s not in scenario_names()]
     if unknown:
         print(f"dhetpnoc-repro scenarios: error: unknown scenarios {unknown}; "
@@ -471,56 +536,13 @@ def _run_scenarios(args) -> int:
         return 2
     if _invalid_patterns(args.pattern, "scenarios sweep"):
         return 2
-    executor = _make_executor(args.workers, args.store, args.store_backend)
     try:
-        spec = SweepSpec(
-            archs=tuple(args.arch),
-            bw_set_indices=tuple(args.bw_set),
-            patterns=tuple(args.pattern),
-            seeds=tuple(args.seeds),
-            fidelity=args.fidelity,
-            scenarios=tuple(args.scenario),
-        )
+        spec = _spec_from_args(args, scenarios=tuple(args.scenario))
     except ValueError as exc:
         print(f"dhetpnoc-repro scenarios: error: {exc}", file=sys.stderr)
         return 2
-    summaries = replication_summary(spec, executor)
-    rows = [
-        [
-            s.scenario or "-",
-            s.arch,
-            f"set{s.bw_set_index}",
-            s.pattern,
-            mean_spread(s.delivered_gbps.mean, s.delivered_gbps.std),
-            mean_spread(s.energy_per_message_pj.mean,
-                        s.energy_per_message_pj.std, 0),
-            mean_spread(s.mean_latency_cycles.mean, s.mean_latency_cycles.std),
-            len(s.seeds),
-        ]
-        for s in summaries
-    ]
-    print(ascii_table(
-        ["scenario", "arch", "bw set", "pattern", "peak Gb/s", "EPM pJ",
-         "latency cyc", "seeds"],
-        rows,
-        title=(f"Scenario saturation peaks ({args.fidelity.name} fidelity, "
-               f"{spec.n_points()} points, {executor.executed_count} "
-               f"simulated)"),
-    ))
-    by_key = {(s.scenario, s.arch, s.bw_set_index, s.pattern): s
-              for s in summaries}
-    if "firefly" in args.arch and "dhetpnoc" in args.arch:
-        for scenario in args.scenario:
-            for bw_index in args.bw_set:
-                for pattern in args.pattern:
-                    ff = by_key[(scenario, "firefly", bw_index, pattern)]
-                    dh = by_key[(scenario, "dhetpnoc", bw_index, pattern)]
-                    gain = percent_change(
-                        dh.delivered_gbps.mean, ff.delivered_gbps.mean
-                    )
-                    print(f"note: {scenario}/set{bw_index}/{pattern}: "
-                          f"d-HetPNoC peak gain {gain:+.2f}% over Firefly")
-    return 0
+    session = _make_session(args.workers, args.store, args.store_backend)
+    return _execute_spec(spec, session)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -530,21 +552,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        executor = _make_executor(args.workers, args.store, args.store_backend)
-        print(_call_exhibit(args.exhibit, args.fidelity, args.seed, executor))
+        if (args.exhibit is None) == (args.spec is None):
+            print(
+                "dhetpnoc-repro run: error: name an exhibit or pass --spec "
+                "(exactly one of the two)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.spec is not None:
+            if args.fidelity is not None or args.seed is not None:
+                print(
+                    "dhetpnoc-repro run: error: --fidelity/--seed belong in "
+                    "the spec file; they cannot be combined with --spec",
+                    file=sys.stderr,
+                )
+                return 2
+            return _run_spec_file(args)
+        fidelity = args.fidelity if args.fidelity is not None else QUICK_FIDELITY
+        seed = args.seed if args.seed is not None else 1
+        session = _make_session(args.workers, args.store, args.store_backend)
+        print(_call_exhibit(args.exhibit, fidelity, seed, session))
         return 0
     if args.command == "all":
-        executor = _make_executor(args.workers, args.store, args.store_backend)
+        session = _make_session(args.workers, args.store, args.store_backend)
         for name in sorted(ALL_EXHIBITS):
-            print(_call_exhibit(name, args.fidelity, args.seed, executor))
+            print(_call_exhibit(name, args.fidelity, args.seed, session))
             print()
         return 0
     if args.command == "validate":
         from repro.experiments.validation import render_validation, validate_all
 
-        executor = _make_executor(args.workers, args.store, args.store_backend)
+        session = _make_session(args.workers, args.store, args.store_backend)
         results = validate_all(
-            args.fidelity, args.seed, executor=executor, seeds=args.seeds
+            args.fidelity, args.seed, session=session, seeds=args.seeds
         )
         print(render_validation(results))
         return 0 if all(r.passed for r in results) else 1

@@ -28,8 +28,8 @@ from repro.experiments.runner import (
     Fidelity,
     QUICK_FIDELITY,
     RunResult,
+    _peak_result,
     peak_of,
-    peak_result,
 )
 from repro.experiments.sweep import SweepExecutor, SweepSpec
 from repro.gpu.model import GpuMemoryModel
@@ -188,6 +188,20 @@ def _is_canonical(bw_set: BandwidthSet) -> bool:
     return is_canonical_set(bw_set)
 
 
+def _exec(
+    session=None, executor: Optional[SweepExecutor] = None
+) -> Optional[SweepExecutor]:
+    """Resolve the executor behind a ``session=``/``executor=`` pair.
+
+    Every simulated exhibit accepts both: ``session`` (a
+    :class:`repro.api.Session`, the preferred surface) and the historic
+    ``executor``. The session wins when both are given.
+    """
+    if session is not None:
+        return session.executor
+    return executor
+
+
 def _prefetch(
     executor: Optional[SweepExecutor],
     archs: Sequence[str],
@@ -229,7 +243,7 @@ def _peak(
     executor: Optional[SweepExecutor] = None,
 ) -> RunResult:
     if executor is None or not _is_canonical(bw_set):
-        return peak_result(arch, bw_set, pattern, fidelity, seed)
+        return _peak_result(arch, bw_set, pattern, fidelity, seed)
     return peak_of(
         executor.sweep_curve(arch, bw_set.index, pattern, fidelity, seed)
     )
@@ -253,7 +267,9 @@ def figure_3_3(
     bw_sets: Sequence[BandwidthSet] = BANDWIDTH_SETS,
     patterns: Sequence[str] = CORE_PATTERNS,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
+    executor = _exec(session, executor)
     _prefetch(executor, ("firefly", "dhetpnoc"), bw_sets, patterns, fidelity, seed)
     rows = []
     for bw_set in bw_sets:
@@ -286,6 +302,7 @@ def figure_3_3_replicated(
     patterns: Sequence[str] = CORE_PATTERNS,
     n_seeds: int = 3,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
     """Figure 3-3 with error columns: peaks as mean +/- std across seeds.
 
@@ -296,6 +313,7 @@ def figure_3_3_replicated(
     """
     from repro.experiments.sweep import replication_summary
 
+    executor = _exec(session, executor)
     spec = SweepSpec(
         archs=("firefly", "dhetpnoc"),
         bw_set_indices=tuple(s.index for s in bw_sets),
@@ -342,7 +360,9 @@ def figure_3_4(
     bw_sets: Sequence[BandwidthSet] = BANDWIDTH_SETS,
     patterns: Sequence[str] = CORE_PATTERNS,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
+    executor = _exec(session, executor)
     _prefetch(executor, ("firefly", "dhetpnoc"), bw_sets, patterns, fidelity, seed)
     rows = []
     for bw_set in bw_sets:
@@ -381,7 +401,9 @@ def figure_3_5(
     bw_set: BandwidthSet = BW_SET_1,
     patterns: Sequence[str] = CASE_STUDY_PATTERNS,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
+    executor = _exec(session, executor)
     _prefetch(executor, ("firefly", "dhetpnoc"), (bw_set,), patterns, fidelity, seed)
     rows = []
     for pattern in patterns:
@@ -415,6 +437,7 @@ def saturation_knees(
     patterns: Sequence[str] = ("uniform", "skewed3"),
     resolution: float = 0.1,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
     """Adaptive knee localisation against the analytic fluid model.
 
@@ -427,7 +450,7 @@ def saturation_knees(
     """
     from repro.experiments.sweep import adaptive_knee_sweep
 
-    executor = executor or SweepExecutor()
+    executor = _exec(session, executor) or SweepExecutor()
     rows = []
     grid_points = max(1, round(max(fidelity.load_fractions) / resolution))
     for pattern in patterns:
@@ -538,6 +561,7 @@ def figure_3_7(
     seed: int = 1,
     patterns: Sequence[str] = CORE_PATTERNS,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
     return _per_arch_scaling(
         "dhetpnoc",
@@ -546,7 +570,7 @@ def figure_3_7(
         fidelity,
         seed,
         patterns,
-        executor,
+        _exec(session, executor),
     )
 
 
@@ -555,6 +579,7 @@ def figure_3_10(
     seed: int = 1,
     patterns: Sequence[str] = CORE_PATTERNS,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
     return _per_arch_scaling(
         "firefly",
@@ -563,7 +588,7 @@ def figure_3_10(
         fidelity,
         seed,
         patterns,
-        executor,
+        _exec(session, executor),
     )
 
 
@@ -586,8 +611,9 @@ def figure_3_8(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
-    data = _dhet_scaling_rows(fidelity, seed, executor)
+    data = _dhet_scaling_rows(fidelity, seed, _exec(session, executor))
     base_area = data[0][2]
     base_bw = data[0][1].delivered_gbps
     rows = [
@@ -613,8 +639,9 @@ def figure_3_9(
     fidelity: Fidelity = QUICK_FIDELITY,
     seed: int = 1,
     executor: Optional[SweepExecutor] = None,
+    session=None,
 ) -> FigureResult:
-    data = _dhet_scaling_rows(fidelity, seed, executor)
+    data = _dhet_scaling_rows(fidelity, seed, _exec(session, executor))
     base_area = data[0][2]
     base_epm = data[0][1].energy_per_message_pj
     rows = [

@@ -14,13 +14,14 @@ is read at the sweep point where delivery peaked.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api.base import Registry
 from repro.arch.base import PhotonicCrossbarNoC
 from repro.arch.config import SystemConfig
-from repro.arch.dhetpnoc import DHetPNoC
-from repro.arch.firefly import FireflyNoC
+from repro.arch.registry import architectures
 from repro.scenarios.schedule import PhaseStats
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -54,18 +55,41 @@ PAPER_FIDELITY = Fidelity(
 #: CI-friendly schedule; same qualitative knees.
 QUICK_FIDELITY = Fidelity("quick", 1_500, 200, (0.25, 0.60, 1.00))
 
+#: Registry of named fidelities (also exposed through
+#: :mod:`repro.api.registry`): the CLI ``--fidelity`` choices, the
+#: ``REPRO_FIDELITY`` values, and :class:`~repro.api.spec.
+#: ExperimentSpec`'s by-name fidelity resolution all derive from it.
+fidelities = Registry("fidelity", error=ValueError)
+fidelities.register("paper", PAPER_FIDELITY)
+fidelities.register("quick", QUICK_FIDELITY)
+
 
 def fidelity_from_env(default: Fidelity = QUICK_FIDELITY) -> Fidelity:
-    """Pick fidelity from ``REPRO_FIDELITY`` (``paper`` or ``quick``)."""
+    """Pick fidelity from ``REPRO_FIDELITY`` (``paper`` or ``quick``).
+
+    An unrecognized value falls back to *default*, but loudly: a
+    ``UserWarning`` names the accepted values so a typo in a CI lane
+    (``REPRO_FIDELITY=papr``) cannot silently run the wrong schedule.
+    """
     value = os.environ.get("REPRO_FIDELITY", "").strip().lower()
-    if value == "paper":
-        return PAPER_FIDELITY
-    if value == "quick":
-        return QUICK_FIDELITY
-    return default
+    if not value:
+        return default
+    try:
+        return fidelities.get(value)
+    except ValueError:
+        warnings.warn(
+            f"unrecognized REPRO_FIDELITY value {value!r}; accepted values: "
+            f"{', '.join(fidelities.names())} — falling back to "
+            f"{default.name!r}",
+            UserWarning,
+            stacklevel=2,
+        )
+        return default
 
 
-ARCHITECTURES = ("firefly", "dhetpnoc")
+#: Registered architecture names (legacy alias; the source of truth is
+#: the :data:`repro.arch.registry.architectures` registry).
+ARCHITECTURES = tuple(architectures.names())
 
 
 @dataclass(frozen=True)
@@ -104,14 +128,25 @@ def build_arch(
     config: SystemConfig,
     pattern: TrafficPattern,
 ) -> PhotonicCrossbarNoC:
-    if arch_name == "firefly":
-        return FireflyNoC(sim, config)
-    if arch_name == "dhetpnoc":
-        return DHetPNoC(sim, config, pattern=pattern)
-    raise ValueError(f"unknown architecture {arch_name!r}; use one of {ARCHITECTURES}")
+    """Instantiate the named architecture via the architecture registry.
+
+    Dispatches through :data:`repro.arch.registry.architectures`, so a
+    ``register()``-ed architecture is immediately runnable everywhere;
+    unknown names raise ``ValueError`` naming the registered ones.
+    """
+    return architectures.get(arch_name)(sim, config, pattern)
 
 
-def run_once(
+def _deprecated(old: str, new: str) -> None:
+    """Emit the standard legacy-shim :class:`DeprecationWarning`."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run_once(
     arch_name: str,
     bw_set: BandwidthSet,
     pattern_name: str,
@@ -187,7 +222,32 @@ def run_once(
     )
 
 
-def saturation_sweep(
+def run_once(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    offered_gbps: float,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    scenario: Optional[str] = None,
+) -> RunResult:
+    """Deprecated shim over the single-run core.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.run_one` (or
+        :meth:`repro.api.Session.run` with an
+        :class:`~repro.api.ExperimentSpec` for grids). Behaviour is
+        unchanged — this wrapper only adds a :class:`DeprecationWarning`.
+    """
+    _deprecated("run_once()", "repro.api.Session.run_one()")
+    return _run_once(
+        arch_name, bw_set, pattern_name, offered_gbps,
+        fidelity=fidelity, seed=seed, config=config, scenario=scenario,
+    )
+
+
+def _saturation_sweep(
     arch_name: str,
     bw_set: BandwidthSet,
     pattern_name: str,
@@ -237,6 +297,31 @@ def saturation_sweep(
     return executor.run_points(points, fidelity)
 
 
+def saturation_sweep(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    workers: int = 1,
+) -> List[RunResult]:
+    """Deprecated shim over the one-curve sweep.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.run` with an
+        :class:`~repro.api.ExperimentSpec` (``derive_seeds=False``
+        reproduces this function's verbatim-seed semantics). Behaviour
+        is unchanged — this wrapper only adds a
+        :class:`DeprecationWarning`.
+    """
+    _deprecated("saturation_sweep()", "repro.api.Session.run(ExperimentSpec(...))")
+    return _saturation_sweep(
+        arch_name, bw_set, pattern_name, fidelity,
+        seed=seed, config=config, workers=workers,
+    )
+
+
 def peak_of(results: Sequence[RunResult]) -> RunResult:
     """The sweep point with maximum delivered bandwidth (the 'peak')."""
     if not results:
@@ -269,7 +354,7 @@ def set_default_store(store) -> None:
     _DEFAULT_STORE = store
 
 
-def peak_result(
+def _peak_result(
     arch_name: str,
     bw_set: BandwidthSet,
     pattern_name: str,
@@ -279,9 +364,32 @@ def peak_result(
 ) -> RunResult:
     """Store-backed peak extraction for one configuration."""
     return peak_of(
-        saturation_sweep(
+        _saturation_sweep(
             arch_name, bw_set, pattern_name, fidelity, seed, workers=workers
         )
+    )
+
+
+def peak_result(
+    arch_name: str,
+    bw_set: BandwidthSet,
+    pattern_name: str,
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    workers: int = 1,
+) -> RunResult:
+    """Deprecated shim over store-backed peak extraction.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.peaks` with an
+        :class:`~repro.api.ExperimentSpec` (``derive_seeds=False``
+        reproduces this function's verbatim-seed semantics). Behaviour
+        is unchanged — this wrapper only adds a
+        :class:`DeprecationWarning`.
+    """
+    _deprecated("peak_result()", "repro.api.Session.peaks(ExperimentSpec(...))")
+    return _peak_result(
+        arch_name, bw_set, pattern_name, fidelity, seed, workers=workers
     )
 
 
@@ -309,7 +417,7 @@ def adaptive_peak_result(
     from repro.traffic.bandwidth_sets import is_canonical_set
 
     if not is_canonical_set(bw_set):
-        return peak_result(
+        return _peak_result(
             arch_name, bw_set, pattern_name, fidelity, seed, workers=workers
         )
     executor = SweepExecutor(workers=workers, store=default_store())

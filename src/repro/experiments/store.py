@@ -40,6 +40,7 @@ import json
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.api.base import Registry
 from repro.arch.config import SystemConfig
 from repro.experiments.runner import Fidelity, RunResult
 from repro.scenarios.schedule import PhaseStats
@@ -680,16 +681,56 @@ class ShardedJsonlBackend(StoreBackend):
         return len(self._results)
 
 
-#: Names accepted by :func:`make_backend` / the CLI ``--store-backend``.
-BACKEND_NAMES = ("auto", "jsonl", "sharded", "memory")
+#: Registry of ``name -> factory(path) -> StoreBackend`` (also exposed
+#: through :mod:`repro.api.registry`). A remote backend (s3, redis)
+#: becomes CLI-addressable by registering its factory here.
+store_backends = Registry("store backend", error=ValueError)
+
+
+@store_backends.register("jsonl")
+def _jsonl_backend(path: Optional[str]) -> StoreBackend:
+    """One monolithic JSONL file (requires a file path)."""
+    if path is None:
+        raise ValueError("jsonl backend needs a file path")
+    return JsonlBackend(path)
+
+
+@store_backends.register("sharded")
+def _sharded_backend(path: Optional[str]) -> StoreBackend:
+    """One JSONL shard per (arch, bw set) (requires a directory path)."""
+    if path is None:
+        raise ValueError("sharded backend needs a directory path")
+    return ShardedJsonlBackend(path.rstrip("/" + os.sep))
+
+
+@store_backends.register("memory")
+def _memory_backend(path: Optional[str] = None) -> StoreBackend:
+    """Process-local dict; rejects a path (nothing would persist there)."""
+    if path is not None:
+        raise ValueError(
+            "memory backend does not persist; omit the store path "
+            "(or pick jsonl/sharded to write to it)"
+        )
+    return MemoryBackend()
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`make_backend` (``auto`` + the registry)."""
+    return ("auto",) + tuple(store_backends.names())
+
+
+#: Historic alias of :func:`backend_names` output (kept importable).
+BACKEND_NAMES = backend_names()
 
 
 def make_backend(name: str, path: Optional[str] = None) -> StoreBackend:
-    """Build a backend by *name* (see :data:`BACKEND_NAMES`).
+    """Build a backend by *name* (see :func:`backend_names`).
 
     ``auto`` picks :class:`MemoryBackend` without a path,
     :class:`ShardedJsonlBackend` when *path* is (or looks like) a
-    directory, and :class:`JsonlBackend` otherwise.
+    directory, and :class:`JsonlBackend` otherwise. Every other name is
+    a :data:`store_backends` registry lookup, so registered third-party
+    backends are constructible here (and from the CLI) by name.
     """
     if name == "auto":
         if path is None:
@@ -697,17 +738,7 @@ def make_backend(name: str, path: Optional[str] = None) -> StoreBackend:
         if os.path.isdir(path) or path.endswith(("/", os.sep)):
             return ShardedJsonlBackend(path.rstrip("/" + os.sep))
         return JsonlBackend(path)
-    if name == "memory":
-        return MemoryBackend()
-    if name == "jsonl":
-        if path is None:
-            raise ValueError("jsonl backend needs a file path")
-        return JsonlBackend(path)
-    if name == "sharded":
-        if path is None:
-            raise ValueError("sharded backend needs a directory path")
-        return ShardedJsonlBackend(path.rstrip("/" + os.sep))
-    raise ValueError(f"unknown store backend {name!r}; use one of {BACKEND_NAMES}")
+    return store_backends.get(name)(path)
 
 
 def open_store(path: Optional[str], backend: str = "auto") -> "ResultStore":

@@ -69,8 +69,8 @@ from repro.experiments.runner import (
     QUICK_FIDELITY,
     RunResult,
     peak_of,
-    run_once,
 )
+from repro.experiments.runner import _run_once as run_once
 from repro.experiments.store import ResultStore, config_fingerprint, result_key
 from repro.traffic.bandwidth_sets import (
     BANDWIDTH_SETS,

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.area.model import dhetpnoc_area_mm2, firefly_area_mm2
 from repro.dba.token import token_link_cycles, token_size_bits
-from repro.experiments.runner import Fidelity, QUICK_FIDELITY, peak_result
+from repro.experiments.runner import Fidelity, QUICK_FIDELITY, _peak_result
 from repro.gpu.model import GpuMemoryModel
 from repro.photonic.reservation import reservation_serialization_cycles
 from repro.traffic.bandwidth_sets import BW_SET_1
@@ -108,8 +108,8 @@ def _gpu_figure() -> tuple:
 def _uniform_tie(
     fidelity: Fidelity, seed: int, rel_tol: Optional[float] = None
 ) -> ClaimResult:
-    firefly = peak_result("firefly", BW_SET_1, "uniform", fidelity, seed)
-    dhet = peak_result("dhetpnoc", BW_SET_1, "uniform", fidelity, seed)
+    firefly = _peak_result("firefly", BW_SET_1, "uniform", fidelity, seed)
+    dhet = _peak_result("dhetpnoc", BW_SET_1, "uniform", fidelity, seed)
     gap = abs(dhet.delivered_gbps - firefly.delivered_gbps)
     rel = gap / max(firefly.delivered_gbps, 1e-9)
     tolerance = max(BASE_REL_TOL, rel_tol or 0.0)
@@ -126,8 +126,8 @@ def _skew_monotone(
 ) -> ClaimResult:
     gains = []
     for pattern in ("skewed1", "skewed2", "skewed3"):
-        firefly = peak_result("firefly", BW_SET_1, pattern, fidelity, seed)
-        dhet = peak_result("dhetpnoc", BW_SET_1, pattern, fidelity, seed)
+        firefly = _peak_result("firefly", BW_SET_1, pattern, fidelity, seed)
+        dhet = _peak_result("dhetpnoc", BW_SET_1, pattern, fidelity, seed)
         gains.append(dhet.delivered_gbps / firefly.delivered_gbps - 1)
     passed = gains[0] < gains[1] < gains[2] and gains[2] > 0.1
     detail = ", ".join(f"{g * 100:+.1f}%" for g in gains)
@@ -142,8 +142,8 @@ def _skew_monotone(
 def _energy_direction(
     fidelity: Fidelity, seed: int, _rel_tol: Optional[float] = None
 ) -> ClaimResult:
-    firefly = peak_result("firefly", BW_SET_1, "skewed3", fidelity, seed)
-    dhet = peak_result("dhetpnoc", BW_SET_1, "skewed3", fidelity, seed)
+    firefly = _peak_result("firefly", BW_SET_1, "skewed3", fidelity, seed)
+    dhet = _peak_result("dhetpnoc", BW_SET_1, "skewed3", fidelity, seed)
     passed = dhet.energy_per_message_pj < firefly.energy_per_message_pj
     return ClaimResult(
         "d-HetPNoC dissipates less energy per message under skew",
@@ -200,8 +200,8 @@ def _case_studies_win(
 ) -> ClaimResult:
     losses = []
     for pattern in ("skewed_hotspot2", "real_app"):
-        firefly = peak_result("firefly", BW_SET_1, pattern, fidelity, seed)
-        dhet = peak_result("dhetpnoc", BW_SET_1, pattern, fidelity, seed)
+        firefly = _peak_result("firefly", BW_SET_1, pattern, fidelity, seed)
+        dhet = _peak_result("dhetpnoc", BW_SET_1, pattern, fidelity, seed)
         if dhet.delivered_gbps <= firefly.delivered_gbps:
             losses.append(pattern)
     return ClaimResult(
@@ -300,20 +300,24 @@ def validate_all(
     executor=None,
     rel_tol: Optional[float] = None,
     seeds: Optional[Sequence[int]] = None,
+    session=None,
 ) -> List[ClaimResult]:
     """Run every headline claim; returns their results.
 
-    With an *executor* (a :class:`~repro.experiments.sweep.SweepExecutor`
-    built over the default store), every simulated point the dynamic
-    claims declare via ``ShapeClaim.patterns`` is fanned out through its
-    worker pool first, so the claim checks themselves are pure cache
-    hits.
+    With a *session* (:class:`repro.api.Session`) or an *executor*
+    (a :class:`~repro.experiments.sweep.SweepExecutor` built over the
+    default store), every simulated point the dynamic claims declare
+    via ``ShapeClaim.patterns`` is fanned out through its worker pool
+    first, so the claim checks themselves are pure cache hits. The
+    claims read through the process-wide default store either way.
 
     ``rel_tol`` loosens the dynamic "identical performance" checks; when
     absent but *seeds* lists more than one seed, it is derived from the
     measured seed spread via :func:`seed_spread_tolerance` — replication
     uncertainty propagated into the pass/fail thresholds.
     """
+    if session is not None:
+        executor = session.executor
     active = claims if claims is not None else HEADLINE_CLAIMS
     if rel_tol is None and seeds is not None and len(seeds) > 1:
         rel_tol = seed_spread_tolerance(fidelity, seeds, executor=executor)

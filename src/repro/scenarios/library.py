@@ -26,8 +26,9 @@ instantiated for this reproduction's substrate:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Tuple
 
+from repro.api.base import Registry
 from repro.scenarios.schedule import (
     BurstLoad,
     FaultEvent,
@@ -39,8 +40,10 @@ from repro.scenarios.schedule import (
     StepLoad,
 )
 
-#: name -> (description, builder)
-_BUILDERS: Dict[str, Tuple[str, Callable[[int], ScenarioSchedule]]] = {}
+#: Registry of ``name -> (description, builder)`` (also exposed through
+#: :mod:`repro.api.registry`). Unknown and duplicate names raise
+#: :class:`~repro.scenarios.schedule.ScenarioError`.
+scenarios = Registry("scenario", error=ScenarioError)
 
 
 def register_scenario(
@@ -49,9 +52,7 @@ def register_scenario(
     """Decorator adding a builder to the library registry."""
 
     def wrap(builder: Callable[[int], ScenarioSchedule]):
-        if name in _BUILDERS:
-            raise ScenarioError(f"scenario {name!r} already registered")
-        _BUILDERS[name] = (description, builder)
+        scenarios.register(name, (description, builder))
         return builder
 
     return wrap
@@ -59,7 +60,7 @@ def register_scenario(
 
 def scenario_names() -> Tuple[str, ...]:
     """Names of every registered scenario, sorted."""
-    return tuple(sorted(_BUILDERS))
+    return tuple(sorted(scenarios.names()))
 
 
 def describe_scenario(name: str) -> str:
@@ -67,22 +68,14 @@ def describe_scenario(name: str) -> str:
 
     Raises :class:`ScenarioError` for unknown names.
     """
-    if name not in _BUILDERS:
-        raise ScenarioError(
-            f"unknown scenario {name!r}; available: {scenario_names()}"
-        )
-    return _BUILDERS[name][0]
+    return scenarios.get(name)[0]
 
 
 def build_scenario(name: str, total_cycles: int) -> ScenarioSchedule:
     """Build the named scenario for a run of ``total_cycles`` cycles."""
     if total_cycles <= 0:
         raise ScenarioError("total_cycles must be positive")
-    if name not in _BUILDERS:
-        raise ScenarioError(
-            f"unknown scenario {name!r}; available: {scenario_names()}"
-        )
-    return _BUILDERS[name][1](total_cycles)
+    return scenarios.get(name)[1](total_cycles)
 
 
 # ---------------------------------------------------------------------------
@@ -98,7 +91,7 @@ def _steady(total_cycles: int) -> ScenarioSchedule:
     return ScenarioSchedule(
         "steady",
         (Phase(start_cycle=0),),
-        description=_BUILDERS["steady"][0],
+        description=describe_scenario("steady"),
     )
 
 
@@ -122,7 +115,7 @@ def _bursty_uniform(total_cycles: int) -> ScenarioSchedule:
                 ),
             ),
         ),
-        description=_BUILDERS["bursty_uniform"][0],
+        description=describe_scenario("bursty_uniform"),
     )
 
 
@@ -144,7 +137,7 @@ def _diurnal(total_cycles: int) -> ScenarioSchedule:
                 ),
             ),
         ),
-        description=_BUILDERS["diurnal"][0],
+        description=describe_scenario("diurnal"),
     )
 
 
@@ -170,7 +163,7 @@ def _hotspot_drift(total_cycles: int) -> ScenarioSchedule:
         for i, core in enumerate(hotspot_cores)
     )
     return ScenarioSchedule(
-        "hotspot_drift", phases, description=_BUILDERS["hotspot_drift"][0]
+        "hotspot_drift", phases, description=describe_scenario("hotspot_drift")
     )
 
 
@@ -199,7 +192,7 @@ def _app_phases(total_cycles: int) -> ScenarioSchedule:
                 app_mix={"MUM": 0.5, "BFS": 0.6, "LPS": 1.8, "CP": 1.6, "RAY": 1.6},
             ),
         ),
-        description=_BUILDERS["app_phases"][0],
+        description=describe_scenario("app_phases"),
     )
 
 
@@ -218,7 +211,7 @@ def _load_spike(total_cycles: int) -> ScenarioSchedule:
             Phase(start_cycle=third, modulator=StepLoad(1.6)),
             Phase(start_cycle=2 * third, modulator=RampLoad(1.6, 0.8)),
         ),
-        description=_BUILDERS["load_spike"][0],
+        description=describe_scenario("load_spike"),
     )
 
 
@@ -254,10 +247,10 @@ def _fault_storm(total_cycles: int) -> ScenarioSchedule:
                 ),
             ),
         ),
-        description=_BUILDERS["fault_storm"][0],
+        description=describe_scenario("fault_storm"),
     )
 
 
 def scenario_catalog() -> List[Tuple[str, str]]:
     """``(name, description)`` rows for CLI/report listings."""
-    return [(name, _BUILDERS[name][0]) for name in scenario_names()]
+    return [(name, describe_scenario(name)) for name in scenario_names()]

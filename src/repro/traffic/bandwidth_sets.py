@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.api.base import Registry
 from repro.photonic.wavelength import (
     LAMBDA_PER_WAVEGUIDE,
     WAVELENGTH_RATE_GBPS,
@@ -116,12 +117,18 @@ BW_SET_3 = BandwidthSet(
 
 BANDWIDTH_SETS: Tuple[BandwidthSet, ...] = (BW_SET_1, BW_SET_2, BW_SET_3)
 
+#: Registry of ``index -> BandwidthSet`` (also exposed through
+#: :mod:`repro.api.registry`). Registering a new set makes it
+#: addressable by every index-keyed surface (sweep grids, specs, the
+#: CLI ``--bw-set`` choices) at once.
+bandwidth_sets = Registry("bandwidth set")
+for _set in BANDWIDTH_SETS:
+    bandwidth_sets.register(_set.index, _set)
+
 
 def bandwidth_set_by_index(index: int) -> BandwidthSet:
-    for bw_set in BANDWIDTH_SETS:
-        if bw_set.index == index:
-            return bw_set
-    raise KeyError(f"no bandwidth set with index {index}")
+    """The registered :class:`BandwidthSet` for *index* (KeyError if none)."""
+    return bandwidth_sets.get(index)
 
 
 def is_canonical_set(bw_set: BandwidthSet) -> bool:
@@ -130,7 +137,7 @@ def is_canonical_set(bw_set: BandwidthSet) -> bool:
     A customised set (``dataclasses.replace(BW_SET_1, ...)``) shares an
     index with a table 3-1 set but must never be treated as it.
     """
-    for candidate in BANDWIDTH_SETS:
-        if candidate.index == bw_set.index:
-            return candidate == bw_set
-    return False
+    try:
+        return bandwidth_sets.get(bw_set.index) == bw_set
+    except KeyError:
+        return False

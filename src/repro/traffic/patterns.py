@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.base import Registry
 from repro.traffic.apps import APP_PROFILES, place_applications
 from repro.traffic.bandwidth_sets import BandwidthSet
 
@@ -401,22 +402,40 @@ class BitComplementTraffic(TrafficPattern):
         return self._require_bound().firefly_lambda_per_channel
 
 
+def _resolve_pattern_family(name) -> Optional[type]:
+    """Resolver for the parameterised ``skewed*`` name families.
+
+    Returns a zero-argument factory for ``skewed<N>`` /
+    ``skewed_hotspot<N>`` names (the level parses with the name, so a
+    malformed level raises ``ValueError`` exactly as it always has),
+    or ``None`` for names outside the families.
+    """
+    if not isinstance(name, str):
+        return None
+    if name.startswith("skewed_hotspot"):
+        level = int(name.removeprefix("skewed_hotspot"))
+        return lambda: HotspotSkewedTraffic(level)
+    if name.startswith("skewed") and name != "skewed":
+        level = int(name.removeprefix("skewed"))
+        return lambda: SkewedTraffic(level)
+    return None
+
+
+#: Registry of ``name -> pattern factory`` (also exposed through
+#: :mod:`repro.api.registry`). Fixed names are registered entries; the
+#: ``skewed<N>``/``skewed_hotspot<N>`` families resolve dynamically.
+patterns = Registry("traffic pattern", error=PatternError,
+                    resolver=_resolve_pattern_family)
+patterns.register("uniform", UniformRandomTraffic)
+patterns.register("real_app", RealApplicationTraffic)
+patterns.register("transpose", TransposeTraffic)
+patterns.register("bit_complement", BitComplementTraffic)
+
+
 def pattern_by_name(name: str) -> TrafficPattern:
     """Instantiate a pattern from its report name.
 
     >>> pattern_by_name("skewed3").name
     'skewed3'
     """
-    if name == "uniform":
-        return UniformRandomTraffic()
-    if name.startswith("skewed_hotspot"):
-        return HotspotSkewedTraffic(int(name.removeprefix("skewed_hotspot")))
-    if name.startswith("skewed"):
-        return SkewedTraffic(int(name.removeprefix("skewed")))
-    if name == "real_app":
-        return RealApplicationTraffic()
-    if name == "transpose":
-        return TransposeTraffic()
-    if name == "bit_complement":
-        return BitComplementTraffic()
-    raise PatternError(f"unknown pattern {name!r}")
+    return patterns.get(name)()

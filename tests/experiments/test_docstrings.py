@@ -1,16 +1,21 @@
-"""Public-API docstring coverage for the sweep/store/scenario layers.
+"""Public-API docstring coverage for the sweep/store/scenario/api layers.
 
 The documentation satellite of the sweeps PR promises that every public
 class and function of :mod:`repro.experiments.store`,
-:mod:`repro.experiments.sweep` and the :mod:`repro.scenarios` package
-carries a docstring. This test keeps that promise machine-checked (the
-CI doctest lane additionally executes the runnable examples).
+:mod:`repro.experiments.sweep`, the :mod:`repro.scenarios` package and
+the :mod:`repro.api` package carries a docstring. This test keeps that
+promise machine-checked (the CI doctest lane additionally executes the
+runnable examples).
 """
 
 import inspect
 
 import pytest
 
+import repro.api.base
+import repro.api.registry
+import repro.api.session
+import repro.api.spec
 import repro.experiments.store
 import repro.experiments.sweep
 import repro.scenarios.library
@@ -23,6 +28,10 @@ MODULES = [
     repro.scenarios.schedule,
     repro.scenarios.library,
     repro.scenarios.player,
+    repro.api.base,
+    repro.api.spec,
+    repro.api.session,
+    repro.api.registry,
 ]
 
 

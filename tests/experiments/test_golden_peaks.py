@@ -1,25 +1,34 @@
 """Golden regression tests for quick-fidelity saturation peaks.
 
 These pin the headline numbers of the (firefly, dhetpnoc) x skewed3
-pair on bandwidth set 1 at the CI ``quick`` fidelity, seed 1. Any PR
-that shifts delivered bandwidth or packet energy beyond tolerance has
-changed the simulated physics (or the RNG plumbing) and must regenerate
-the goldens *deliberately*, with the shift explained in the PR.
+pair on bandwidth set 1 at the CI ``quick`` fidelity, seed 1 — both for
+the stationary workload and for the ``hotspot_drift`` / ``fault_storm``
+scenario scripts, so scenario physics drift is caught deliberately too.
+Any PR that shifts delivered bandwidth or packet energy beyond
+tolerance has changed the simulated physics (or the RNG plumbing) and
+must regenerate the goldens *deliberately*, with the shift explained in
+the PR.
 
 Regenerate with::
 
     PYTHONPATH=src python -c "
-    from repro.experiments.runner import QUICK_FIDELITY, peak_result
-    from repro.traffic.bandwidth_sets import BW_SET_1
-    for arch in ('firefly', 'dhetpnoc'):
-        r = peak_result(arch, BW_SET_1, 'skewed3', QUICK_FIDELITY, seed=1)
-        print(arch, r.delivered_gbps, r.energy_per_message_pj, r.offered_gbps)"
+    from repro.api import ExperimentSpec, Session
+    from repro.experiments.runner import QUICK_FIDELITY
+    with Session() as s:
+        for scenario in (None, 'hotspot_drift', 'fault_storm'):
+            spec = ExperimentSpec(
+                bw_sets=(1,), patterns=('skewed3',), scenarios=(scenario,),
+                seeds=(1,), fidelity=QUICK_FIDELITY, derive_seeds=False)
+            for curve, p in s.peaks(spec).items():
+                print(curve, p.delivered_gbps, p.energy_per_message_pj,
+                      p.offered_gbps)"
 """
 
 import os
 
 import pytest
 
+from repro.api import ExperimentSpec, Session
 from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY, peak_result
 from repro.traffic.bandwidth_sets import BW_SET_1
 
@@ -42,6 +51,47 @@ def test_quick_fidelity_peaks_match_golden(arch):
     assert peak.delivered_gbps == pytest.approx(golden_bw, rel=REL_TOL)
     assert peak.energy_per_message_pj == pytest.approx(golden_epm, rel=REL_TOL)
     assert peak.offered_gbps == pytest.approx(golden_offered, rel=REL_TOL)
+
+
+#: Scenario-conditioned goldens (ROADMAP item): (delivered Gb/s, EPM pJ,
+#: offered Gb/s at the peak) per (scenario, arch), quick fidelity, BW
+#: set 1, base pattern skewed3, seed 1 used verbatim.
+GOLDEN_SCENARIO_QUICK = {
+    ("hotspot_drift", "firefly"): (375.75384615384615, 8894.018507313811, 800.0),
+    ("hotspot_drift", "dhetpnoc"): (519.6923076923076, 7086.021970419869, 800.0),
+    ("fault_storm", "firefly"): (277.6, 10987.774909420279, 800.0),
+    ("fault_storm", "dhetpnoc"): (441.66153846153844, 7763.195499999997, 800.0),
+}
+
+
+@pytest.mark.parametrize("scenario,arch", sorted(GOLDEN_SCENARIO_QUICK))
+def test_quick_fidelity_scenario_peaks_match_golden(scenario, arch):
+    """Scenario scripts are physics too: their peaks are pinned like the
+    stationary ones, so a library edit that changes a script's behaviour
+    (or the player's replay determinism) fails here deliberately."""
+    golden_bw, golden_epm, golden_offered = GOLDEN_SCENARIO_QUICK[(scenario, arch)]
+    spec = ExperimentSpec(
+        archs=(arch,), bw_sets=(1,), patterns=("skewed3",),
+        scenarios=(scenario,), seeds=(1,), fidelity=QUICK_FIDELITY,
+        derive_seeds=False,
+    )
+    with Session() as session:
+        peak = session.peaks(spec)[(arch, 1, "skewed3", scenario, 1)]
+    assert peak.delivered_gbps == pytest.approx(golden_bw, rel=REL_TOL)
+    assert peak.energy_per_message_pj == pytest.approx(golden_epm, rel=REL_TOL)
+    assert peak.offered_gbps == pytest.approx(golden_offered, rel=REL_TOL)
+
+
+def test_scenario_goldens_keep_the_thesis_shape():
+    """Under both scripted scenarios the d-HetPNoC advantage must
+    survive: more delivered bandwidth and cheaper packets than Firefly
+    (the robustness story of the fault storm, the DBA-chasing story of
+    the drifting hotspot)."""
+    for scenario in ("hotspot_drift", "fault_storm"):
+        ff = GOLDEN_SCENARIO_QUICK[(scenario, "firefly")]
+        dh = GOLDEN_SCENARIO_QUICK[(scenario, "dhetpnoc")]
+        assert dh[0] > 1.1 * ff[0]
+        assert dh[1] < ff[1]
 
 
 def test_golden_gap_is_the_thesis_shape():

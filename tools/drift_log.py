@@ -26,12 +26,7 @@ import os
 import subprocess
 import sys
 
-from repro.experiments.runner import (
-    PAPER_FIDELITY,
-    QUICK_FIDELITY,
-    adaptive_peak_result,
-    peak_result,
-)
+from repro.experiments.runner import PAPER_FIDELITY, QUICK_FIDELITY
 from repro.traffic.bandwidth_sets import BW_SET_1
 
 #: The pinned golden configuration (see tests/experiments/test_golden_peaks.py).
@@ -56,25 +51,28 @@ def collect(fidelity, seed: int = GOLDEN_SEED, workers: int = 1) -> list:
     Also runs the adaptive knee localisation so the drift log captures
     both the fixed-grid peak and the knee estimate.
     """
+    from repro.api import ExperimentSpec, Session
     from repro.experiments.runner import default_store
-    from repro.experiments.sweep import SweepExecutor, adaptive_knee_sweep
+    from repro.experiments.sweep import adaptive_knee_sweep
 
     stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
         timespec="seconds"
     )
     sha = _git_sha()
     records = []
-    # One executor over the process-wide default store: the adaptive
+    # One session over the process-wide default store: the adaptive
     # probes that land on grid fractions reuse the peak sweep's points.
-    executor = SweepExecutor(workers=workers, store=default_store())
+    session = Session(default_store(), workers=workers)
+    spec = ExperimentSpec(
+        bw_sets=(BW_SET_1.index,), patterns=(GOLDEN_PATTERN,),
+        seeds=(seed,), fidelity=fidelity, derive_seeds=False,
+    )
+    peaks = session.peaks(spec)
     for arch in ("firefly", "dhetpnoc"):
-        peak = peak_result(
-            arch, BW_SET_1, GOLDEN_PATTERN, fidelity, seed=seed,
-            workers=workers,
-        )
+        peak = peaks[(arch, BW_SET_1.index, GOLDEN_PATTERN, None, seed)]
         knee = adaptive_knee_sweep(
             arch, BW_SET_1.index, GOLDEN_PATTERN, fidelity,
-            executor=executor, seed=seed,
+            executor=session.executor, seed=seed,
             resolution=0.1,
         )
         records.append({

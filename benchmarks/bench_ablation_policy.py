@@ -8,7 +8,6 @@ application (chip demand 16 x 8 = 128 wavelengths vs a 64-wavelength
 pool), the case where first-come hoarding hurts.
 """
 
-import random
 
 from benchmarks.conftest import SEED, emit
 from repro.arch.config import SystemConfig

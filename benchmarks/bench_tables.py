@@ -5,7 +5,7 @@ the benchmark times the table construction; the value is the emitted
 artifact in results/.
 """
 
-from benchmarks.conftest import SEED, emit
+from benchmarks.conftest import emit
 from repro.experiments.figures import (
     table_3_1,
     table_3_2,

@@ -18,7 +18,6 @@ from repro.experiments.report import ascii_table, percent_change
 from repro.experiments.runner import QUICK_FIDELITY, PAPER_FIDELITY, peak_of
 from repro.gpu import GPU_BENCHMARKS, GpuMemoryModel
 from repro.traffic import APP_PROFILES, BW_SET_1, place_applications
-from repro.traffic.patterns import RealApplicationTraffic
 
 
 def show_motivation() -> None:

@@ -45,6 +45,7 @@ Package map: :mod:`repro.sim` (cycle engine), :mod:`repro.noc`
 :mod:`repro.gpu`, :mod:`repro.experiments`.
 """
 
+from repro.api.base import lazy_exports
 from repro.arch import DHetPNoC, FireflyNoC, SystemConfig
 from repro.sim import RandomStreams, Simulator
 from repro.traffic import (
@@ -57,8 +58,6 @@ from repro.traffic import (
 )
 
 __version__ = "1.1.0"
-
-from repro.api.base import lazy_exports
 
 #: Heavy experiment-API members, imported lazily (PEP 562) so that
 #: ``import repro`` stays light.

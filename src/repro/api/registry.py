@@ -28,6 +28,12 @@ the system is one import and one call::
 
 Registered names propagate everywhere automatically: CLI choices,
 :class:`~repro.api.spec.ExperimentSpec` validation, sweep execution.
+Scenario plugins have two higher-level front doors:
+:func:`repro.scenarios.library.register_schedule` registers a concrete
+schedule (a ``sequence``/``overlay`` combinator output), and
+:func:`repro.scenarios.library.load_scenario_file` registers a JSON
+scenario script (``ExperimentSpec(scenario_files=...)`` and the
+``scenarios load`` CLI call it for you).
 All registries share :class:`~repro.api.base.Registry` semantics —
 duplicate registration needs ``override=True``, unknown names raise the
 domain error listed above.

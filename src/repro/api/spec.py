@@ -83,6 +83,11 @@ class ExperimentSpec:
     bw_sets: Tuple[int, ...] = tuple(bandwidth_sets.names())
     patterns: Tuple[str, ...] = ("uniform",)
     scenarios: Tuple[Optional[str], ...] = (None,)
+    #: Scenario-script JSON files loaded into the scenario registry
+    #: before the ``scenarios`` axis is validated, so a spec can carry
+    #: workloads that live outside the built-in library (see
+    #: ``repro.scenarios.library.load_scenario_file``).
+    scenario_files: Tuple[str, ...] = ()
     seeds: Tuple[int, ...] = (1,)
     fidelity: Fidelity = QUICK_FIDELITY
     #: Override the fidelity's load grid (grid mode) / the knee-search
@@ -103,6 +108,7 @@ class ExperimentSpec:
             "bw_sets": tuple(int(i) for i in self.bw_sets),
             "patterns": tuple(self.patterns),
             "scenarios": tuple(self.scenarios),
+            "scenario_files": tuple(str(p) for p in self.scenario_files),
             "seeds": tuple(int(s) for s in self.seeds),
             "fidelity": _fidelity_from(self.fidelity),
             "load_fractions": (
@@ -125,6 +131,13 @@ class ExperimentSpec:
             bandwidth_sets.get(index)
         for pattern in self.patterns:
             patterns.get(pattern)
+        # Scenario files register before the axis is validated, so a
+        # spec can name the scenarios it ships.
+        if self.scenario_files:
+            from repro.scenarios.library import load_scenario_file
+
+            for path in self.scenario_files:
+                load_scenario_file(path)
         for scenario in self.scenarios:
             if scenario is not None:
                 scenario_registry.get(scenario)
@@ -170,6 +183,7 @@ class ExperimentSpec:
             "bw_sets": list(self.bw_sets),
             "patterns": list(self.patterns),
             "scenarios": list(self.scenarios),
+            "scenario_files": list(self.scenario_files),
             "seeds": list(self.seeds),
             "fidelity": {
                 "name": self.fidelity.name,

@@ -21,7 +21,7 @@ aggregate bandwidth, and its per-bit energy grows with hop count.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.arch.base import ArchMetrics
 from repro.arch.config import SystemConfig

@@ -9,7 +9,7 @@ the corresponding entries in the demand tables."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.photonic.wavelength import WavelengthId
 

@@ -21,7 +21,7 @@ completely from source to destination at network saturation."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.energy.params import PhotonicEnergyParams

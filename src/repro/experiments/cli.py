@@ -16,6 +16,8 @@ Examples::
     dhetpnoc-repro scenarios describe hotspot_drift
     dhetpnoc-repro scenarios run hotspot_drift --arch firefly dhetpnoc
     dhetpnoc-repro scenarios sweep --scenario steady fault_storm --workers 4
+    dhetpnoc-repro scenarios load my_workload.json
+    dhetpnoc-repro scenarios run my_workload.json --arch dhetpnoc
 
 Every command is a thin wrapper over :mod:`repro.api`: flags build an
 :class:`~repro.api.ExperimentSpec` (one shared builder serves ``sweep``,
@@ -234,10 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("name")
     describe.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
 
+    load = scen_sub.add_parser(
+        "load",
+        help="validate a scenario-script JSON file and show its script "
+        "(the same files are accepted wherever a scenario is named)",
+    )
+    load.add_argument("path", metavar="SCRIPT.json")
+
     scen_run = scen_sub.add_parser(
         "run", help="play one scenario and report per-phase metrics"
     )
-    scen_run.add_argument("name")
+    scen_run.add_argument(
+        "name", help="library scenario name, or a scenario-script JSON path"
+    )
     scen_run.add_argument(
         "--arch", nargs="+", default=["dhetpnoc"],
         choices=list(architectures.names()),
@@ -256,7 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     scen_sweep = scen_sub.add_parser(
         "sweep", help="saturation sweep with a scenario axis"
     )
-    scen_sweep.add_argument("--scenario", nargs="+", default=["steady"])
+    scen_sweep.add_argument(
+        "--scenario", nargs="+", default=["steady"],
+        help="library scenario names and/or scenario-script JSON paths",
+    )
     _add_grid_axes(scen_sweep)
     _add_parallel_options(scen_sweep)
 
@@ -469,6 +483,31 @@ def _run_store(args) -> int:
     return 0
 
 
+def _resolve_scenario(value: str):
+    """A scenario axis entry: a registry name, or a JSON script path.
+
+    Path-looking entries (a ``.json`` suffix or a path separator) are
+    loaded and registered, so downstream code only ever sees names.
+    Returns the resolved name, or ``None`` after printing an error.
+    """
+    import os
+
+    from repro.scenarios.library import load_scenario_file
+    from repro.scenarios.schedule import ScenarioError
+
+    if not (value.endswith(".json") or os.sep in value):
+        return value
+    try:
+        return load_scenario_file(value).name
+    except (OSError, ScenarioError) as exc:
+        print(
+            f"dhetpnoc-repro scenarios: error: bad scenario file "
+            f"{value!r}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
 def _run_scenarios(args) -> int:
     import json
 
@@ -496,10 +535,32 @@ def _run_scenarios(args) -> int:
         print(json.dumps(schedule.to_dict()["phases"], indent=2))
         return 0
 
+    if args.scenario_command == "load":
+        from repro.scenarios.library import load_scenario_file
+
+        try:
+            schedule = load_scenario_file(args.path)
+        except (OSError, ScenarioError) as exc:
+            print(
+                f"dhetpnoc-repro scenarios: error: bad scenario file "
+                f"{args.path!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{schedule.name}: {schedule.description}")
+        print(f"fingerprint: {schedule.fingerprint()}")
+        print(f"phases: {len(schedule)}")
+        print(json.dumps(schedule.to_dict()["phases"], indent=2))
+        return 0
+
     if args.scenario_command == "run":
         from repro.experiments.report import phase_table
         from repro.traffic.bandwidth_sets import bandwidth_set_by_index
 
+        name = _resolve_scenario(args.name)
+        if name is None:
+            return 2
+        args.name = name
         if args.name not in scenario_names():
             print(
                 f"dhetpnoc-repro scenarios: error: unknown scenario "
@@ -529,7 +590,10 @@ def _run_scenarios(args) -> int:
         return 0
 
     # scenarios sweep
-    unknown = [s for s in args.scenario if s not in scenario_names()]
+    resolved = [_resolve_scenario(s) for s in args.scenario]
+    if any(name is None for name in resolved):
+        return 2
+    unknown = [s for s in resolved if s not in scenario_names()]
     if unknown:
         print(f"dhetpnoc-repro scenarios: error: unknown scenarios {unknown}; "
               f"available: {', '.join(scenario_names())}", file=sys.stderr)
@@ -537,7 +601,7 @@ def _run_scenarios(args) -> int:
     if _invalid_patterns(args.pattern, "scenarios sweep"):
         return 2
     try:
-        spec = _spec_from_args(args, scenarios=tuple(args.scenario))
+        spec = _spec_from_args(args, scenarios=tuple(resolved))
     except ValueError as exc:
         print(f"dhetpnoc-repro scenarios: error: {exc}", file=sys.stderr)
         return 2

@@ -14,14 +14,9 @@ CLI), parallelising the simulations the exhibit needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.area.model import (
-    dhetpnoc_area_mm2,
-    dhetpnoc_counts,
-    firefly_area_mm2,
-    firefly_counts,
-)
+from repro.area.model import dhetpnoc_area_mm2, firefly_area_mm2
 from repro.energy import params as energy_params
 from repro.experiments.report import ascii_table, mean_spread, percent_change
 from repro.experiments.runner import (
@@ -487,6 +482,74 @@ def saturation_knees(
 
 
 # ---------------------------------------------------------------------------
+# Closed-loop load shedding (feedback-rule scenario exhibit)
+# ---------------------------------------------------------------------------
+
+def closed_loop_shedding(
+    fidelity: Fidelity = QUICK_FIDELITY,
+    seed: int = 1,
+    bw_set: BandwidthSet = BW_SET_1,
+    pattern: str = "skewed3",
+    load_fraction: float = 0.6,
+) -> FigureResult:
+    """Feedback-controlled overload: observed latency sheds offered load.
+
+    Plays the ``closed_loop_shedding`` scenario (calm phase, then a
+    1.7x overload phase whose :class:`~repro.scenarios.schedule.
+    FeedbackRule`\\ s watch windowed mean latency) on both
+    architectures and reports the per-phase windows — delivered
+    bandwidth, latency, phase-local EPM and how often the controller
+    fired. The firing cycles are a deterministic function of the seed
+    (rules evaluate on fixed cycle boundaries against observed
+    counters), so the exhibit reproduces exactly.
+    """
+    from repro.experiments.runner import _run_once
+    from repro.scenarios.library import build_scenario
+
+    offered = load_fraction * bw_set.aggregate_gbps
+    schedule = build_scenario("closed_loop_shedding", fidelity.total_cycles)
+    rules = [r for p in schedule.phases for r in p.rules]
+    shed = next(r for r in rules if r.action == "shed_load")
+    restore = next(r for r in rules if r.action == "restore_load")
+    rows = []
+    fired = {}
+    for arch in ("firefly", "dhetpnoc"):
+        result = _run_once(
+            arch, bw_set, pattern, offered,
+            fidelity=fidelity, seed=seed, scenario="closed_loop_shedding",
+        )
+        fired[arch] = sum(p.rules_fired for p in result.phases)
+        for p in result.phases:
+            rows.append(
+                [
+                    arch,
+                    "overload" if p.index else "calm",
+                    f"[{p.start_cycle}, {p.end_cycle})",
+                    round(p.delivered_gbps, 1),
+                    round(p.mean_latency_cycles, 1),
+                    round(p.energy_per_message_pj, 0),
+                    p.rules_fired,
+                ]
+            )
+    return FigureResult(
+        "Closed-loop shedding",
+        f"Latency-triggered load shedding ({pattern}, {bw_set.name}, "
+        f"base {offered:.0f} Gb/s)",
+        ["arch", "phase", "cycles", "Gb/s", "latency cyc", "EPM pJ",
+         "rules fired"],
+        rows,
+        notes=[
+            f"controller: shed x{shed.factor:g} when mean latency over a "
+            f"{shed.window_cycles}-cycle window exceeds "
+            f"{shed.threshold:g} cycles (restore below "
+            f"{restore.threshold:g})",
+            f"rule firings: firefly {fired['firefly']}, "
+            f"d-HetPNoC {fired['dhetpnoc']}",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
 # Figure 3-6: area vs aggregate bandwidth
 # ---------------------------------------------------------------------------
 
@@ -684,4 +747,5 @@ ALL_EXHIBITS = {
     "figure-3-9": figure_3_9,
     "figure-3-10": figure_3_10,
     "saturation-knees": saturation_knees,
+    "closed-loop-shedding": closed_loop_shedding,
 }

@@ -91,13 +91,16 @@ def phase_table(phases, title: Optional[str] = None) -> str:
             p.packets_delivered,
             round(p.delivered_gbps, 1),
             round(p.mean_latency_cycles, 1),
+            round(p.energy_per_message_pj, 0),
             p.faults_fired,
+            p.rules_fired,
         ]
         for p in phases
     ]
     return ascii_table(
         ["phase", "pattern", "cycles", "measured", "offered pkts",
-         "delivered pkts", "Gb/s", "latency cyc", "faults"],
+         "delivered pkts", "Gb/s", "latency cyc", "EPM pJ", "faults",
+         "rules"],
         rows,
         title=title,
     )

@@ -46,6 +46,7 @@ __all__ = [
     "Router",
     "RouterConfig",
     "TableRouting",
+    "topologies",
     "Topology",
     "TopologyError",
     "VirtualChannelBuffer",

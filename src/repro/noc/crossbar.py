@@ -8,7 +8,7 @@ at most one output and each output is driven by at most one input.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 class CrossbarConflict(RuntimeError):

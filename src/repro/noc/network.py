@@ -12,7 +12,7 @@ collects ejected flits, recording latency and delivered bits.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.noc.flit import Flit, Packet, packetize

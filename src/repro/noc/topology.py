@@ -13,7 +13,7 @@ numbering per node (ports are the sorted neighbor order), plus optional
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
 

@@ -18,8 +18,8 @@ The timing argument of 3.4.1.1 is reproduced verbatim by
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.photonic.wavelength import (
     LAMBDA_PER_WAVEGUIDE,

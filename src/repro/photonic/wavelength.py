@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 #: DWDM channels per waveguide (Firefly [20], thesis 3.4.1).
 LAMBDA_PER_WAVEGUIDE = 64

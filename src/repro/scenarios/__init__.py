@@ -1,28 +1,39 @@
-"""Scenario engine: time-varying, scriptable workloads.
+"""Scenario engine: time-varying, scriptable, closed-loop workloads.
 
 * :mod:`repro.scenarios.schedule` — the declarative script objects
-  (phases, load modulators, fault events) and their content hashing;
-* :mod:`repro.scenarios.library` — the registry of named, built-in
-  scenarios (``steady``, ``bursty_uniform``, ``diurnal``,
-  ``hotspot_drift``, ``app_phases``, ``load_spike``, ``fault_storm``);
+  (phases, load modulators, fault events, feedback rules), their JSON
+  round-trip and their content hashing;
+* :mod:`repro.scenarios.compose` — the ``sequence``/``overlay``
+  combinators building new schedules out of existing ones;
+* :mod:`repro.scenarios.library` — the registry of named scenarios
+  (built-ins such as ``steady``, ``fault_storm``,
+  ``closed_loop_shedding``; plus combinator outputs and JSON files via
+  ``register_schedule``/``load_scenario_file``);
 * :mod:`repro.scenarios.player` — the runtime that replays a schedule
-  into a simulation, deterministically.
+  into a simulation, deterministically, evaluating feedback rules
+  against observed state on fixed cycle boundaries.
 """
 
+from repro.scenarios.compose import overlay, sequence
 from repro.scenarios.library import (
     build_scenario,
     describe_scenario,
+    load_scenario_file,
     register_scenario,
+    register_schedule,
     scenario_catalog,
     scenario_names,
 )
-from repro.scenarios.player import ScenarioPlayer, initial_pattern
+from repro.scenarios.player import RuleFiring, ScenarioPlayer, initial_pattern
 from repro.scenarios.schedule import (
     BurstLoad,
     FaultEvent,
+    FeedbackRule,
     LoadModulator,
+    OffsetLoad,
     Phase,
     PhaseStats,
+    ProductLoad,
     RampLoad,
     ScenarioError,
     ScenarioSchedule,
@@ -33,10 +44,14 @@ from repro.scenarios.schedule import (
 __all__ = [
     "BurstLoad",
     "FaultEvent",
+    "FeedbackRule",
     "LoadModulator",
+    "OffsetLoad",
     "Phase",
     "PhaseStats",
+    "ProductLoad",
     "RampLoad",
+    "RuleFiring",
     "ScenarioError",
     "ScenarioPlayer",
     "ScenarioSchedule",
@@ -45,7 +60,11 @@ __all__ = [
     "build_scenario",
     "describe_scenario",
     "initial_pattern",
+    "load_scenario_file",
+    "overlay",
     "register_scenario",
+    "register_schedule",
     "scenario_catalog",
     "scenario_names",
+    "sequence",
 ]

@@ -1,0 +1,226 @@
+"""Combinators that build new scenarios out of existing ones.
+
+Two operations cover the compositions the ROADMAP asks for:
+
+* :func:`sequence` — play one schedule up to a cut cycle, then another
+  (``calm`` then ``storm``);
+* :func:`overlay` — run one schedule's *pattern script* under another
+  schedule's *load waveform and fault script* (``fault_storm`` over
+  ``diurnal``).
+
+Both return ordinary :class:`~repro.scenarios.schedule.ScenarioSchedule`
+objects: pure data, playable by the unmodified player, registrable in
+the scenario registry, serialisable to JSON. Their identity is
+structural — the composed schedule's phases (and therefore its content
+fingerprint, and therefore every store key derived from it) are a pure
+function of the component schedules and the combinator arguments, so
+composing the same inputs twice always cache-hits the same results.
+
+Waveform continuity across merged boundaries is preserved by the
+composite modulators: a phase sliced at a foreign boundary keeps its
+modulator wrapped in :class:`~repro.scenarios.schedule.OffsetLoad`
+(the waveform continues instead of restarting), and coinciding base +
+overlay waveforms multiply through
+:class:`~repro.scenarios.schedule.ProductLoad`.
+
+Known approximations (all deterministic, just not bit-identical to the
+unsliced schedule):
+
+* a *stochastic* modulator (``BurstLoad``) sliced across a boundary
+  restarts its dwell-time state per slice;
+* a span-dependent modulator (``RampLoad``) in a schedule's final
+  phase only knows its true span at run time;
+* feedback rules are per-phase state in the player, so a closed-loop
+  phase sliced by :func:`overlay` re-arms its controller at every
+  merged boundary — the shed scale resets to 1, ``once``/cooldown
+  history clears, and the rolling window restarts. Compose the
+  open-loop parts and keep controller phases unsliced when that reset
+  is not what you want.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.scenarios.schedule import (
+    LoadModulator,
+    OffsetLoad,
+    Phase,
+    ProductLoad,
+    ScenarioError,
+    ScenarioSchedule,
+)
+
+
+def sequence(
+    first: ScenarioSchedule,
+    second: ScenarioSchedule,
+    at_cycle: int,
+    name: Optional[str] = None,
+) -> ScenarioSchedule:
+    """Play *first* until *at_cycle*, then *second* (shifted to start
+    there).
+
+    *first*'s phases starting at/after the cut are dropped, and faults
+    of its clipped final phase that would land at/after the cut are
+    dropped with them (they belong to the part of the script that no
+    longer plays). *second* starts exactly as if its run began at
+    *at_cycle*; if its first phase has ``pattern=None`` it inherits
+    whatever pattern *first* was playing at the cut — the usual
+    ``None``-keeps-current phase semantics.
+
+    The default name is derived from the components and the cut, so the
+    composed schedule's fingerprint is stable across processes.
+    """
+    if at_cycle <= 0:
+        raise ScenarioError("sequence cut must be after cycle 0")
+    kept: List[Phase] = []
+    for phase in first.phases:
+        if phase.start_cycle >= at_cycle:
+            break
+        faults = tuple(
+            f for f in phase.faults if phase.start_cycle + f.at_cycle < at_cycle
+        )
+        kept.append(
+            phase if faults == phase.faults
+            else dataclasses.replace(phase, faults=faults)
+        )
+    shifted = tuple(
+        dataclasses.replace(phase, start_cycle=phase.start_cycle + at_cycle)
+        for phase in second.phases
+    )
+    return ScenarioSchedule(
+        name or f"sequence({first.name},{second.name}@{at_cycle})",
+        tuple(kept) + shifted,
+        description=(
+            f"{first.name} until cycle {at_cycle}, then {second.name}"
+        ),
+    )
+
+
+def _covering(phases: Tuple[Phase, ...], cycle: int) -> Tuple[int, Phase]:
+    """Index and phase covering *cycle* (phases are start-sorted)."""
+    index = 0
+    for i, phase in enumerate(phases):
+        if phase.start_cycle <= cycle:
+            index = i
+        else:
+            break
+    return index, phases[index]
+
+
+def _phase_end(phases: Tuple[Phase, ...], index: int) -> Optional[int]:
+    """Scheduled end of ``phases[index]`` (``None``: runs to the end)."""
+    if index + 1 < len(phases):
+        return phases[index + 1].start_cycle
+    return None
+
+
+def _sliced_modulator(
+    phase: Phase,
+    phase_end: Optional[int],
+    slice_start: int,
+    slice_end: Optional[int],
+) -> Optional[LoadModulator]:
+    """*phase*'s modulator as seen from the slice ``[slice_start,
+    slice_end)``, offset-wrapped when the slice is a proper cut."""
+    if phase.modulator is None:
+        return None
+    offset = slice_start - phase.start_cycle
+    if offset == 0 and slice_end == phase_end:
+        return phase.modulator
+    span = None if phase_end is None else phase_end - phase.start_cycle
+    if offset == 0 and span is None:
+        # inner(t + 0, n + 0): the wrap would be an exact identity.
+        return phase.modulator
+    return OffsetLoad(phase.modulator, offset_cycles=offset, span_cycles=span)
+
+
+def overlay(
+    base: ScenarioSchedule,
+    modulation: ScenarioSchedule,
+    name: Optional[str] = None,
+) -> ScenarioSchedule:
+    """Run *modulation*'s load waveform and fault script over *base*.
+
+    The merged timeline has a phase boundary wherever either component
+    has one. From *base* each merged phase takes the full script —
+    pattern binding, hotspot, app mix, placement, load and modulator;
+    from *modulation* it takes only the load scale, the load modulator,
+    the faults and the feedback rules (its pattern-binding fields are
+    deliberately ignored: it modulates, it does not rebind). Load
+    scales multiply; coinciding modulators multiply pointwise through
+    :class:`~repro.scenarios.schedule.ProductLoad`.
+
+    Pattern-binding fields are only kept on the merged phase that
+    *starts* the covering base phase; continuation slices leave them
+    ``None`` so the player never re-binds (or re-applies DBA demand)
+    at a boundary that exists only in the overlay.
+
+    Feedback rules from *both* components attach to every slice they
+    cover, so the controller keeps operating across the merged
+    timeline — but, rules being per-phase player state, it *re-arms*
+    (shed scale, ``once``/cooldown history, rolling window) at each
+    merged boundary; see the module docstring's approximation list.
+    """
+    boundaries = sorted(
+        {p.start_cycle for p in base.phases}
+        | {p.start_cycle for p in modulation.phases}
+    )
+    merged: List[Phase] = []
+    for i, start in enumerate(boundaries):
+        end = boundaries[i + 1] if i + 1 < len(boundaries) else None
+        b_idx, b_phase = _covering(base.phases, start)
+        m_idx, m_phase = _covering(modulation.phases, start)
+        starts_base_phase = b_phase.start_cycle == start
+        faults = []
+        for phase in (b_phase, m_phase):
+            for fault in phase.faults:
+                absolute = phase.start_cycle + fault.at_cycle
+                if absolute >= start and (end is None or absolute < end):
+                    faults.append(
+                        dataclasses.replace(fault, at_cycle=absolute - start)
+                    )
+        faults.sort(key=lambda f: f.at_cycle)
+        parts = [
+            m
+            for m in (
+                _sliced_modulator(
+                    b_phase, _phase_end(base.phases, b_idx), start, end
+                ),
+                _sliced_modulator(
+                    m_phase, _phase_end(modulation.phases, m_idx), start, end
+                ),
+            )
+            if m is not None
+        ]
+        modulator: Optional[LoadModulator]
+        if not parts:
+            modulator = None
+        elif len(parts) == 1:
+            modulator = parts[0]
+        else:
+            modulator = ProductLoad(tuple(parts))
+        merged.append(
+            Phase(
+                start_cycle=start,
+                pattern=b_phase.pattern if starts_base_phase else None,
+                load_scale=b_phase.load_scale * m_phase.load_scale,
+                modulator=modulator,
+                app_mix=b_phase.app_mix if starts_base_phase else None,
+                faults=tuple(faults),
+                hotspot_core=(
+                    b_phase.hotspot_core if starts_base_phase else None
+                ),
+                placement_key=(
+                    b_phase.placement_key if starts_base_phase else None
+                ),
+                rules=b_phase.rules + m_phase.rules,
+            )
+        )
+    return ScenarioSchedule(
+        name or f"overlay({base.name}+{modulation.name})",
+        tuple(merged),
+        description=f"{modulation.name} modulating {base.name}",
+    )

@@ -21,17 +21,26 @@ instantiated for this reproduction's substrate:
 ``app_phases``            the GPU app mix cycles through execution phases
 ``load_spike``            quiet -> overload spike -> ramped recovery
 ``fault_storm``           wavelength deaths, a token freeze/thaw, blackouts
+``closed_loop_shedding``  feedback rules shed load when latency blows up
+``storm_over_diurnal``    the fault storm overlaid on the diurnal swing
 ========================  ==================================================
+
+Beyond the decorator there are two more ways in: concrete schedules —
+combinator outputs, JSON files — register through
+:func:`register_schedule` / :func:`load_scenario_file` and then behave
+exactly like built-ins (sweepable, spec-validatable, store-keyed by
+content fingerprint).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.api.base import Registry
 from repro.scenarios.schedule import (
     BurstLoad,
     FaultEvent,
+    FeedbackRule,
     Phase,
     RampLoad,
     ScenarioError,
@@ -76,6 +85,64 @@ def build_scenario(name: str, total_cycles: int) -> ScenarioSchedule:
     if total_cycles <= 0:
         raise ScenarioError("total_cycles must be positive")
     return scenarios.get(name)[1](total_cycles)
+
+
+def register_schedule(
+    schedule: ScenarioSchedule,
+    description: Optional[str] = None,
+    override: bool = False,
+) -> ScenarioSchedule:
+    """Register a *concrete* schedule under its own name.
+
+    Combinator outputs and JSON-loaded scripts have fixed phase
+    boundaries instead of a run-length parameter; the registered builder
+    returns the schedule unchanged for any ``total_cycles`` (a run too
+    short for the last phase still fails loudly in ``phase_bounds``).
+    Once registered the scenario is a first-class citizen: usable on
+    sweep axes, validated by ``ExperimentSpec``, content-fingerprinted
+    into store keys.
+
+    Note for parallel sweeps: register before the worker pool spins up
+    (the pool inherits the registry on fork) — exactly what the CLI's
+    ``scenarios`` commands do.
+    """
+    scenarios.register(
+        schedule.name,
+        (description if description is not None else schedule.description,
+         lambda _total_cycles: schedule),
+        override=override,
+    )
+    return schedule
+
+
+def load_scenario_file(
+    path: str, register: bool = True, override: bool = False
+) -> ScenarioSchedule:
+    """Load a scenario script from a JSON file (optionally registering).
+
+    The file holds one serialised :class:`ScenarioSchedule`
+    (``schedule.save(path)`` writes the format; see docs/scenarios.md
+    for the schema). Unknown fields, modulator kinds, fault actions and
+    rule fields are rejected at load time. Re-loading a file whose
+    schedule is already registered with an identical content fingerprint
+    is a no-op, so specs and scripts can share scenario files freely; a
+    *different* script under a taken name is still a duplicate error.
+    """
+    schedule = ScenarioSchedule.load(path)
+    if register:
+        if not override and schedule.name in scenarios:
+            probe_cycles = schedule.phases[-1].start_cycle + 1
+            try:
+                existing = scenarios.get(schedule.name)[1](probe_cycles)
+            except Exception:
+                existing = None
+            if (
+                existing is not None
+                and existing.fingerprint() == schedule.fingerprint()
+            ):
+                return schedule
+        register_schedule(schedule, override=override)
+    return schedule
 
 
 # ---------------------------------------------------------------------------
@@ -248,6 +315,72 @@ def _fault_storm(total_cycles: int) -> ScenarioSchedule:
             ),
         ),
         description=describe_scenario("fault_storm"),
+    )
+
+
+@register_scenario(
+    "closed_loop_shedding",
+    "Closed-loop congestion control: a calm phase, then an overload "
+    "phase whose feedback rules watch windowed mean latency and shed "
+    "offered load when it blows past threshold (restoring it once the "
+    "network drains) — load shedding driven by observed state, not the "
+    "script.",
+)
+def _closed_loop_shedding(total_cycles: int) -> ScenarioSchedule:
+    third = max(1, total_cycles // 3)
+    window = max(30, total_cycles // 10)
+    check = max(10, total_cycles // 30)
+    return ScenarioSchedule(
+        "closed_loop_shedding",
+        (
+            Phase(start_cycle=0, load_scale=0.7),
+            Phase(
+                start_cycle=third,
+                load_scale=1.7,
+                rules=(
+                    FeedbackRule(
+                        metric="mean_latency_cycles",
+                        threshold=260.0,
+                        action="shed_load",
+                        factor=0.55,
+                        window_cycles=window,
+                        check_every=check,
+                        cooldown_cycles=2 * window,
+                    ),
+                    FeedbackRule(
+                        metric="mean_latency_cycles",
+                        threshold=190.0,
+                        direction="below",
+                        action="restore_load",
+                        window_cycles=window,
+                        check_every=check,
+                        cooldown_cycles=2 * window,
+                    ),
+                ),
+            ),
+        ),
+        description=describe_scenario("closed_loop_shedding"),
+    )
+
+
+@register_scenario(
+    "storm_over_diurnal",
+    "The fault-storm script overlaid on the diurnal load swing via the "
+    "overlay combinator: wavelength deaths, a token freeze/thaw and a "
+    "blackout strike while demand is swinging sinusoidally.",
+)
+def _storm_over_diurnal(total_cycles: int) -> ScenarioSchedule:
+    from repro.scenarios.compose import overlay
+
+    schedule = overlay(
+        build_scenario("diurnal", total_cycles),
+        build_scenario("fault_storm", total_cycles),
+        name="storm_over_diurnal",
+    )
+    return ScenarioSchedule(
+        schedule.name,
+        schedule.phases,
+        description=describe_scenario("storm_over_diurnal"),
     )
 
 

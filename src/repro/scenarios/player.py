@@ -8,9 +8,14 @@ accepts it unchanged. Each cycle it
 
 1. crosses any due phase boundary — rebinding the traffic pattern,
    re-applying DBA demand, shifting the app mix,
-2. fires scripted faults whose cycle has come,
-3. applies the phase's load scale / modulator to the live generator,
-4. delegates injection to the generator.
+2. evaluates the phase's closed-loop :class:`~repro.scenarios.schedule.
+   FeedbackRule`\\ s on their cycle boundaries (shedding load or
+   advancing the schedule from *observed* state — see
+   :meth:`ScenarioPlayer._evaluate_feedback`),
+3. fires scripted faults whose cycle has come,
+4. applies the phase's load scale x feedback scale / modulator to the
+   live generator,
+5. delegates injection to the generator.
 
 Determinism contract
 --------------------
@@ -33,6 +38,7 @@ scenario-less run, and serial/parallel sweep execution agree bitwise.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 from typing import Callable, List, Optional, Tuple
 
@@ -40,6 +46,7 @@ from repro.sim.rng import RandomStreams, derive_seed
 from repro.sim.stats import window_mean
 from repro.scenarios.schedule import (
     FaultEvent,
+    FeedbackRule,
     Phase,
     PhaseStats,
     ScenarioError,
@@ -47,6 +54,18 @@ from repro.scenarios.schedule import (
 )
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.patterns import TrafficPattern, pattern_by_name
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleFiring:
+    """One feedback-rule trigger observed during a run (audit trail)."""
+
+    cycle: int
+    phase_index: int
+    rule_index: int
+    metric: str
+    value: float
+    action: str
 
 
 def _placement_rng(
@@ -172,15 +191,20 @@ class ScenarioPlayer:
         self._ticked = False
         self._closed: List[PhaseStats] = []
         self._finished = False
+        #: Audit trail of every feedback-rule trigger, in firing order.
+        self.rule_events: List[RuleFiring] = []
         self._arm_phase(0, enter_cycle=0, rebind=False)
 
     # ------------------------------------------------------------------
     # Phase machinery
     # ------------------------------------------------------------------
     def _arm_phase(self, index: int, enter_cycle: int, rebind: bool) -> None:
-        start, end, phase = self._bounds[index]
+        _start, end, phase = self._bounds[index]
         self._phase_idx = index
-        self._phase_start = start
+        # The phase is measured (and its modulator/fault offsets count)
+        # from the cycle it is actually entered: the scheduled start on
+        # a normal crossing, earlier when a feedback rule advanced it.
+        self._phase_start = enter_cycle
         self._phase_end = end
         self._phase_faults: Tuple[FaultEvent, ...] = tuple(
             sorted(phase.faults, key=lambda f: f.at_cycle)
@@ -198,6 +222,20 @@ class ScenarioPlayer:
         ):
             self._rebind(phase, index)
         self._window = self._snapshot(enter_cycle)
+        # Closed-loop state: a fresh feedback scale, per-rule firing
+        # history and a rolling window of counter snapshots per phase.
+        self._phase_rules: Tuple[FeedbackRule, ...] = phase.rules
+        self._feedback_scale = 1.0
+        self._phase_rules_fired = 0
+        self._rule_last_fired: List[Optional[int]] = [None] * len(phase.rules)
+        self._rule_fired_count: List[int] = [0] * len(phase.rules)
+        if phase.rules:
+            # Snapshot cadence must divide every rule's check_every —
+            # gcd, not min: with rules at 30 and 50 a min cadence of 30
+            # would gate the 50-cycle rule onto multiples of 150.
+            self._rule_cadence = math.gcd(*(r.check_every for r in phase.rules))
+            self._max_window = max(r.window_cycles for r in phase.rules)
+            self._feedback_history: List[dict] = [self._window]
 
     def _rebind(self, phase: Phase, index: int) -> None:
         """Swap in the phase's pattern (and demand tables) mid-run."""
@@ -240,6 +278,7 @@ class ScenarioPlayer:
 
     def _snapshot(self, cycle: int) -> dict:
         metrics = self.noc.metrics
+        energy = getattr(self.noc, "energy", None)
         return {
             "cycle": cycle,
             "bits": metrics.bits_delivered,
@@ -248,10 +287,11 @@ class ScenarioPlayer:
             "lat_mean": metrics.latency.mean,
             "offered": self.packets_offered,
             "refused": self.packets_refused,
+            "energy_pj": energy.breakdown.total_pj if energy is not None else 0.0,
+            "messages": energy.messages_delivered if energy is not None else 0,
         }
 
     def _close_window(self, at_cycle: int) -> None:
-        phase = self._bounds[self._phase_idx][2]
         base = self._window
         metrics = self.noc.metrics
         measured = max(0, at_cycle - base["cycle"])
@@ -259,6 +299,9 @@ class ScenarioPlayer:
         gbps = (
             bits * self.clock_hz / measured / 1e9 if measured > 0 else 0.0
         )
+        current = self._snapshot(at_cycle)
+        energy_pj = current["energy_pj"] - base["energy_pj"]
+        messages = current["messages"] - base["messages"]
         self._closed.append(
             PhaseStats(
                 index=self._phase_idx,
@@ -276,8 +319,112 @@ class ScenarioPlayer:
                     metrics.latency.count, metrics.latency.mean,
                 ),
                 faults_fired=self._phase_faults_fired,
+                energy_pj=energy_pj,
+                energy_per_message_pj=(
+                    energy_pj / messages if messages > 0 else 0.0
+                ),
+                rules_fired=self._phase_rules_fired,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Closed-loop feedback
+    # ------------------------------------------------------------------
+    def _window_base(self, target_cycle: int) -> Optional[dict]:
+        """Latest history snapshot taken at/before *target_cycle*."""
+        base = None
+        for snap in self._feedback_history:
+            if snap["cycle"] <= target_cycle:
+                base = snap
+            else:
+                break
+        return base
+
+    def _windowed_metric(
+        self, metric: str, base: dict, current: dict
+    ) -> Optional[float]:
+        """The rule metric over ``[base, current)``; ``None`` when the
+        window has no defining samples (no latency, nothing offered,
+        nothing delivered) — an undefined metric never trips a rule."""
+        cycles = current["cycle"] - base["cycle"]
+        if cycles <= 0:
+            return None
+        if metric == "mean_latency_cycles":
+            if current["lat_count"] <= base["lat_count"]:
+                return None
+            return window_mean(
+                base["lat_count"], base["lat_mean"],
+                current["lat_count"], current["lat_mean"],
+            )
+        if metric == "delivered_gbps":
+            bits = current["bits"] - base["bits"]
+            return bits * self.clock_hz / cycles / 1e9
+        if metric == "acceptance_ratio":
+            offered = current["offered"] - base["offered"]
+            if offered <= 0:
+                return None
+            return (offered - (current["refused"] - base["refused"])) / offered
+        # FEEDBACK_METRICS is closed; the rule validated its name.
+        messages = current["messages"] - base["messages"]
+        if messages <= 0:
+            return None
+        return (current["energy_pj"] - base["energy_pj"]) / messages
+
+    def _evaluate_feedback(self, cycle: int) -> None:
+        """Run the phase's rules on a fixed-cadence cycle boundary.
+
+        Evaluation is a pure function of deterministic simulator
+        counters on deterministic cycles — no RNG — so trigger cycles
+        are reproducible per seed and identical under serial/parallel
+        sweep execution. ``advance_phase`` closes the current window and
+        arms the next phase at this cycle; remaining rules of the left
+        phase are not evaluated.
+        """
+        offset = cycle - self._phase_start
+        if offset <= 0 or offset % self._rule_cadence != 0:
+            return
+        current = self._snapshot(cycle)
+        for index, rule in enumerate(self._phase_rules):
+            if offset % rule.check_every != 0:
+                continue
+            if rule.once and self._rule_fired_count[index]:
+                continue
+            last = self._rule_last_fired[index]
+            if last is not None and cycle - last < rule.cooldown_cycles:
+                continue
+            base = self._window_base(cycle - rule.window_cycles)
+            if base is None:
+                continue  # the phase is younger than the rule's window
+            if rule.action == "restore_load" and self._feedback_scale == 1.0:
+                continue  # nothing shed: firing would be a silent no-op
+            value = self._windowed_metric(rule.metric, base, current)
+            if value is None or not rule.triggered(value):
+                continue
+            self._rule_last_fired[index] = cycle
+            self._rule_fired_count[index] += 1
+            self._phase_rules_fired += 1
+            self.rule_events.append(
+                RuleFiring(cycle, self._phase_idx, index,
+                           rule.metric, value, rule.action)
+            )
+            if rule.action == "shed_load":
+                self._feedback_scale *= rule.factor
+            elif rule.action == "restore_load":
+                self._feedback_scale = 1.0
+            else:  # advance_phase
+                if self._phase_idx + 1 < len(self._bounds):
+                    self._close_window(cycle)
+                    self._arm_phase(
+                        self._phase_idx + 1, enter_cycle=cycle, rebind=True
+                    )
+                return
+        self._feedback_history.append(current)
+        horizon = cycle - self._max_window
+        while (
+            len(self._feedback_history) > 1
+            and self._feedback_history[1]["cycle"] <= horizon
+        ):
+            self._feedback_history.pop(0)
 
     # ------------------------------------------------------------------
     # Faults
@@ -316,8 +463,9 @@ class ScenarioPlayer:
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Advance the scenario to *cycle*: cross phase boundaries
-        (closing metric windows, rebinding patterns), fire due faults,
-        then tick the underlying generator at the phase's scaled load."""
+        (closing metric windows, rebinding patterns), evaluate feedback
+        rules on their cycle boundaries, fire due faults, then tick the
+        underlying generator at the phase's scaled load."""
         self._current_cycle = cycle
         self._ticked = True
         while (
@@ -326,6 +474,8 @@ class ScenarioPlayer:
         ):
             self._close_window(cycle)
             self._arm_phase(self._phase_idx + 1, enter_cycle=cycle, rebind=True)
+        if self._phase_rules:
+            self._evaluate_feedback(cycle)
         offset = cycle - self._phase_start
         while (
             self._fault_cursor < len(self._phase_faults)
@@ -333,7 +483,7 @@ class ScenarioPlayer:
         ):
             self._apply_fault(self._phase_faults[self._fault_cursor])
             self._fault_cursor += 1
-        scale = self._base_scale
+        scale = self._base_scale * self._feedback_scale
         if self._modulator_runtime is not None:
             scale *= self._modulator_runtime(
                 offset, self._phase_end - self._phase_start
@@ -364,6 +514,8 @@ class ScenarioPlayer:
                 bits_delivered=0,
                 delivered_gbps=0.0,
                 mean_latency_cycles=0.0,
+                energy_pj=0.0,
+                energy_per_message_pj=0.0,
             )
             for stats in self._closed
         ]
@@ -372,6 +524,11 @@ class ScenarioPlayer:
         self._window = self._snapshot(
             self._current_cycle + 1 if self._ticked else 0
         )
+        # The reset cleared the counters the feedback snapshots were cut
+        # from; stale snapshots would read as negative windows, so the
+        # rolling history re-bases alongside the metric window.
+        if self._phase_rules:
+            self._feedback_history = [self._window]
 
     def finish(self, end_cycle: Optional[int] = None) -> None:
         """Close the final phase window (idempotent)."""

@@ -175,18 +175,122 @@ class SinusoidLoad(LoadModulator):
         return scale
 
 
+@dataclass(frozen=True)
+class ProductLoad(LoadModulator):
+    """Product of several modulators (the ``overlay`` combinator's glue).
+
+    Factor runtimes are instantiated in order, so a stochastic factor's
+    scenario-RNG draws are deterministic given the factor order.
+    """
+
+    factors: Tuple[LoadModulator, ...] = ()
+    kind = "product"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "factors", tuple(self.factors))
+        if not self.factors:
+            raise ScenarioError("product needs at least one factor")
+        for factor in self.factors:
+            if not isinstance(factor, LoadModulator):
+                raise ScenarioError(
+                    f"product factors must be modulators, got {factor!r}"
+                )
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Pointwise product of the factor runtimes."""
+        runtimes = [factor.runtime(rng) for factor in self.factors]
+
+        def scale(t: int, n: int) -> float:
+            value = 1.0
+            for rt in runtimes:
+                value *= rt(t, n)
+            return value
+
+        return scale
+
+    def to_dict(self) -> dict:
+        """Nested JSON form (factors serialise recursively)."""
+        return {
+            "kind": self.kind,
+            "factors": [factor.to_dict() for factor in self.factors],
+        }
+
+
+@dataclass(frozen=True)
+class OffsetLoad(LoadModulator):
+    """A modulator evaluated ``offset_cycles`` into its original phase.
+
+    Combinators that split a phase at a foreign boundary wrap the
+    phase's modulator in an offset so the waveform continues instead of
+    restarting: the slice at in-phase cycle ``t`` evaluates the inner
+    modulator at ``t + offset_cycles``. ``span_cycles`` pins the
+    original phase's length for span-dependent modulators
+    (:class:`RampLoad`); ``None`` passes the runtime span plus the
+    offset, which is exact whenever the slice runs to the original
+    phase's end.
+    """
+
+    inner: LoadModulator = field(default_factory=StepLoad)
+    offset_cycles: int = 0
+    span_cycles: Optional[int] = None
+    kind = "offset"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, LoadModulator):
+            raise ScenarioError(
+                f"offset inner must be a modulator, got {self.inner!r}"
+            )
+        if self.offset_cycles < 0:
+            raise ScenarioError("offset_cycles must be >= 0")
+        if self.span_cycles is not None and self.span_cycles <= 0:
+            raise ScenarioError("span_cycles must be positive (or None)")
+
+    def runtime(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Shifted view into the inner modulator's waveform."""
+        inner_rt = self.inner.runtime(rng)
+        offset, span = self.offset_cycles, self.span_cycles
+
+        def scale(t: int, n: int) -> float:
+            return inner_rt(t + offset, span if span is not None else n + offset)
+
+        return scale
+
+    def to_dict(self) -> dict:
+        """Nested JSON form (the inner modulator serialises recursively)."""
+        return {
+            "kind": self.kind,
+            "inner": self.inner.to_dict(),
+            "offset_cycles": self.offset_cycles,
+            "span_cycles": self.span_cycles,
+        }
+
+
 _MODULATOR_KINDS = {
-    cls.kind: cls for cls in (StepLoad, RampLoad, BurstLoad, SinusoidLoad)
+    cls.kind: cls
+    for cls in (StepLoad, RampLoad, BurstLoad, SinusoidLoad, ProductLoad,
+                OffsetLoad)
 }
 
 
 def modulator_from_dict(data: dict) -> LoadModulator:
-    """Inverse of :meth:`LoadModulator.to_dict`."""
+    """Inverse of :meth:`LoadModulator.to_dict` (recursive for the
+    composite kinds)."""
+    if not isinstance(data, dict):
+        raise ScenarioError(f"modulator must be a JSON object, not {data!r}")
     kind = data.get("kind")
     if kind not in _MODULATOR_KINDS:
         raise ScenarioError(f"unknown modulator kind {kind!r}")
     kwargs = {k: v for k, v in data.items() if k != "kind"}
-    return _MODULATOR_KINDS[kind](**kwargs)
+    try:
+        if kind == "product":
+            kwargs["factors"] = tuple(
+                modulator_from_dict(f) for f in kwargs.get("factors", ())
+            )
+        elif kind == "offset":
+            kwargs["inner"] = modulator_from_dict(kwargs.get("inner"))
+        return _MODULATOR_KINDS[kind](**kwargs)
+    except TypeError as exc:  # unknown/missing dataclass fields
+        raise ScenarioError(f"bad {kind!r} modulator fields: {exc}") from None
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +343,129 @@ class FaultEvent:
             "duration_cycles": self.duration_cycles,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; unknown fields are rejected."""
+        return cls(**_known_fields(cls, data, "fault"))
+
+
+def _known_fields(cls, data: dict, what: str) -> dict:
+    """Validate *data*'s keys against *cls*'s dataclass fields."""
+    import dataclasses
+
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{what} must be a JSON object, not {data!r}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ScenarioError(
+            f"unknown {what} fields {sorted(unknown)}; expected a subset of "
+            f"{sorted(known)}"
+        )
+    return dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Feedback rules (closed-loop phases)
+# ---------------------------------------------------------------------------
+
+#: Metrics a feedback rule can watch, computed over a rolling window of
+#: the observed run state (see ``ScenarioPlayer`` for the exact window
+#: accounting).
+FEEDBACK_METRICS = (
+    "mean_latency_cycles",
+    "delivered_gbps",
+    "acceptance_ratio",
+    "energy_per_message_pj",
+)
+
+#: What a fired rule does: halve-style load shedding (multiply the
+#: phase's feedback scale by ``factor``), undo all shedding, or jump to
+#: the next scripted phase ahead of its ``start_cycle``.
+FEEDBACK_ACTIONS = ("shed_load", "restore_load", "advance_phase")
+
+#: Which side of the threshold trips the rule.
+FEEDBACK_DIRECTIONS = ("above", "below")
+
+
+@dataclass(frozen=True)
+class FeedbackRule:
+    """A closed-loop trigger: observed *metric* crosses *threshold* →
+    *action*.
+
+    Rules make a phase react to the run instead of the script: the
+    player evaluates every rule on fixed in-phase cycle boundaries
+    (multiples of ``check_every``) against a rolling window of
+    ``window_cycles`` cycles of observed state, so triggering is a pure
+    function of the simulated history — deterministic in the seed, and
+    identical under serial and parallel sweep execution. A rule only
+    fires once the phase has a full window behind it, and then at most
+    once per ``cooldown_cycles`` (or once ever, with ``once``).
+    """
+
+    metric: str
+    threshold: float
+    action: str
+    direction: str = "above"
+    #: Feedback-scale multiplier applied by ``shed_load``.
+    factor: float = 0.5
+    #: Rolling-window length the metric is measured over.
+    window_cycles: int = 100
+    #: Evaluation cadence: in-phase cycle boundaries, multiples of this.
+    check_every: int = 50
+    #: Minimum cycles between two firings of the same rule.
+    cooldown_cycles: int = 200
+    #: Fire at most once per phase entry.
+    once: bool = False
+
+    def __post_init__(self) -> None:
+        if self.metric not in FEEDBACK_METRICS:
+            raise ScenarioError(
+                f"unknown feedback metric {self.metric!r}; use one of "
+                f"{FEEDBACK_METRICS}"
+            )
+        if self.action not in FEEDBACK_ACTIONS:
+            raise ScenarioError(
+                f"unknown feedback action {self.action!r}; use one of "
+                f"{FEEDBACK_ACTIONS}"
+            )
+        if self.direction not in FEEDBACK_DIRECTIONS:
+            raise ScenarioError(
+                f"unknown feedback direction {self.direction!r}; use one of "
+                f"{FEEDBACK_DIRECTIONS}"
+            )
+        if self.factor < 0:
+            raise ScenarioError("feedback factor must be >= 0")
+        if self.window_cycles <= 0 or self.check_every <= 0:
+            raise ScenarioError("window_cycles/check_every must be positive")
+        if self.cooldown_cycles < 0:
+            raise ScenarioError("cooldown_cycles must be >= 0")
+
+    def triggered(self, value: float) -> bool:
+        """Whether an observed *value* trips this rule's threshold."""
+        if self.direction == "above":
+            return value > self.threshold
+        return value < self.threshold
+
+    def to_dict(self) -> dict:
+        """JSON-able description of the rule."""
+        return {
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "action": self.action,
+            "direction": self.direction,
+            "factor": self.factor,
+            "window_cycles": self.window_cycles,
+            "check_every": self.check_every,
+            "cooldown_cycles": self.cooldown_cycles,
+            "once": self.once,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeedbackRule":
+        """Inverse of :meth:`to_dict`; unknown fields are rejected."""
+        return cls(**_known_fields(cls, data, "feedback rule"))
+
 
 # ---------------------------------------------------------------------------
 # Phases and schedules
@@ -258,6 +485,10 @@ class Phase:
     instead of reshuffling the chip. Placement only happens when a
     pattern is (re)bound, so a key on a ``pattern=None`` phase after
     phase 0 has no effect.
+
+    ``rules`` make the phase closed-loop: each :class:`FeedbackRule` is
+    evaluated by the player against observed run state and can shed
+    load or advance the schedule early (see the rule's docstring).
     """
 
     start_cycle: int
@@ -268,6 +499,7 @@ class Phase:
     faults: Tuple[FaultEvent, ...] = ()
     hotspot_core: Optional[int] = None
     placement_key: Optional[str] = None
+    rules: Tuple[FeedbackRule, ...] = ()
 
     def __post_init__(self) -> None:
         if self.start_cycle < 0:
@@ -279,10 +511,16 @@ class Phase:
                 if factor < 0:
                     raise ScenarioError(f"app_mix[{app!r}] must be >= 0")
         object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "rules", tuple(self.rules))
 
     def to_dict(self) -> dict:
-        """JSON-able description of the phase (script + faults)."""
-        return {
+        """JSON-able description of the phase (script + faults + rules).
+
+        The ``rules`` key appears only when the phase has rules, so the
+        content fingerprints (and store keys) of every pre-existing
+        open-loop scenario are unchanged by the closed-loop extension.
+        """
+        data = {
             "start_cycle": self.start_cycle,
             "pattern": self.pattern,
             "load_scale": self.load_scale,
@@ -292,6 +530,23 @@ class Phase:
             "hotspot_core": self.hotspot_core,
             "placement_key": self.placement_key,
         }
+        if self.rules:
+            data["rules"] = [r.to_dict() for r in self.rules]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Phase":
+        """Inverse of :meth:`to_dict`; unknown fields/kinds are rejected."""
+        kwargs = _known_fields(cls, data, "phase")
+        if kwargs.get("modulator") is not None:
+            kwargs["modulator"] = modulator_from_dict(kwargs["modulator"])
+        kwargs["faults"] = tuple(
+            FaultEvent.from_dict(f) for f in kwargs.get("faults") or ()
+        )
+        kwargs["rules"] = tuple(
+            FeedbackRule.from_dict(r) for r in kwargs.get("rules") or ()
+        )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -316,6 +571,16 @@ class PhaseStats:
     delivered_gbps: float
     mean_latency_cycles: float
     faults_fired: int = 0
+    #: Energy dissipated inside this phase's measured window (pJ), from
+    #: an :class:`~repro.energy.model.EnergyAccount` snapshot at each
+    #: phase boundary. The final phase also absorbs the end-of-run
+    #: settlement (buffer retention charged by ``finalize()``).
+    energy_pj: float = 0.0
+    #: Phase-local EPM: ``energy_pj`` over the messages delivered in the
+    #: window (0.0 when the window delivered nothing).
+    energy_per_message_pj: float = 0.0
+    #: Feedback-rule firings attributed to this phase window.
+    rules_fired: int = 0
 
     @property
     def throughput_fraction(self) -> float:
@@ -381,6 +646,57 @@ class ScenarioSchedule:
             "description": self.description,
             "phases": [p.to_dict() for p in self.phases],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSchedule":
+        """Build a schedule from :meth:`to_dict` output (or a
+        hand-written script). Unknown top-level or phase fields, unknown
+        modulator kinds and unknown rule/fault kinds are all rejected —
+        a typo fails at load time, not as a silently ignored key.
+        """
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"schedule must be a JSON object, not {type(data).__name__}"
+            )
+        payload = dict(data)
+        unknown = set(payload) - {"name", "description", "phases"}
+        if unknown:
+            raise ScenarioError(
+                f"unknown schedule fields {sorted(unknown)}; expected "
+                "name/description/phases"
+            )
+        phases = payload.get("phases")
+        if not isinstance(phases, (list, tuple)):
+            raise ScenarioError("schedule needs a 'phases' array")
+        return cls(
+            name=str(payload.get("name", "")),
+            phases=tuple(Phase.from_dict(p) for p in phases),
+            description=str(payload.get("description", "")),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON document (sorted keys, stable layout)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSchedule":
+        """Parse a schedule from a JSON document (see :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the schedule to *path* as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSchedule":
+        """Read a schedule from a JSON file at *path*."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
 
     def fingerprint(self) -> str:
         """Stable content digest of the full script (store-key input)."""

@@ -11,7 +11,7 @@ saturation (matching the thesis's accounting of dropped traffic).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from typing import Callable
 
 from repro.noc.flit import Packet
 from repro.traffic.bandwidth_sets import BandwidthSet

@@ -23,7 +23,7 @@ originating from class *c* equals the table 3-2 frequency.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.base import Registry
 from repro.traffic.apps import APP_PROFILES, place_applications

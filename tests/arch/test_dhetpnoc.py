@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.arch.config import SystemConfig
 from repro.arch.dhetpnoc import DHetPNoC
 from repro.sim.engine import Simulator

@@ -1,7 +1,5 @@
 """Failure-injection tests: the system degrades gracefully, never wedges."""
 
-import random
-
 import pytest
 
 from repro.arch.config import SystemConfig

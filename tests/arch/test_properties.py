@@ -6,7 +6,6 @@ every run must preserve flit conservation, deliver at least the traffic
 it claims, and keep the DBA holdings inside the wavelength pool.
 """
 
-import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -6,7 +6,6 @@ These tests remove even that noise: record one injection trace, replay it
 bit-identically into both architectures, and compare.
 """
 
-import random
 
 import pytest
 

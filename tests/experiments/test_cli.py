@@ -152,6 +152,59 @@ class TestMain:
         assert "phase" in out and "Gb/s" in out
         assert "overall:" in out
 
+    def test_scenarios_load_validates_and_prints_script(self, capsys,
+                                                        tmp_path):
+        from repro.scenarios.library import scenarios
+        from repro.scenarios.schedule import Phase, ScenarioSchedule, StepLoad
+
+        path = str(tmp_path / "wl.json")
+        ScenarioSchedule(
+            "test-cli-workload",
+            (Phase(start_cycle=0, modulator=StepLoad(0.8)),),
+            description="cli loader test",
+        ).save(path)
+        try:
+            assert main(["scenarios", "load", path]) == 0
+            out = capsys.readouterr().out
+            assert "test-cli-workload: cli loader test" in out
+            assert "fingerprint:" in out
+            assert '"kind": "step"' in out
+        finally:
+            scenarios.unregister("test-cli-workload")
+
+        # A broken file exits 2 with a pointer, not a traceback.
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write('{"name": "x", "phases": [{"start_cycle": 0, "warp": 1}]}')
+        assert main(["scenarios", "load", bad]) == 2
+        assert "bad scenario file" in capsys.readouterr().err
+        assert main(["scenarios", "load", str(tmp_path / "missing.json")]) == 2
+
+    def test_scenarios_run_accepts_json_path(self, capsys, tmp_path):
+        from repro.scenarios.library import scenarios
+        from repro.scenarios.schedule import Phase, ScenarioSchedule
+
+        path = str(tmp_path / "wl.json")
+        ScenarioSchedule(
+            "test-cli-run-workload",
+            (Phase(start_cycle=0), Phase(start_cycle=400, load_scale=0.5)),
+        ).save(path)
+        try:
+            assert main(["scenarios", "run", path, "--arch", "dhetpnoc",
+                         "--pattern", "skewed3"]) == 0
+            out = capsys.readouterr().out
+            assert "test-cli-run-workload on dhetpnoc" in out
+            assert "overall:" in out
+        finally:
+            scenarios.unregister("test-cli-run-workload")
+
+    def test_run_closed_loop_exhibit(self, capsys):
+        assert main(["run", "closed-loop-shedding"]) == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop shedding" in out
+        assert "rules fired" in out
+        assert "controller: shed" in out
+
     def test_scenarios_sweep_reports_per_scenario_rows(self, capsys, tmp_path):
         store = str(tmp_path / "store.jsonl")
         argv = ["scenarios", "sweep", "--scenario", "steady", "load_spike",

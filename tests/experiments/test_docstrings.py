@@ -18,6 +18,7 @@ import repro.api.session
 import repro.api.spec
 import repro.experiments.store
 import repro.experiments.sweep
+import repro.scenarios.compose
 import repro.scenarios.library
 import repro.scenarios.player
 import repro.scenarios.schedule
@@ -26,6 +27,7 @@ MODULES = [
     repro.experiments.store,
     repro.experiments.sweep,
     repro.scenarios.schedule,
+    repro.scenarios.compose,
     repro.scenarios.library,
     repro.scenarios.player,
     repro.api.base,

@@ -186,7 +186,7 @@ class TestRegistry:
             "figure-1-1", "figure-3-3", "figure-3-3-replicated",
             "figure-3-4", "figure-3-5",
             "figure-3-6", "figure-3-7", "figure-3-8", "figure-3-9",
-            "figure-3-10", "saturation-knees",
+            "figure-3-10", "saturation-knees", "closed-loop-shedding",
         }
         assert set(ALL_EXHIBITS) == expected
 

@@ -1,6 +1,5 @@
 """Tests for the experiment runner and saturation sweeps."""
 
-import os
 
 import pytest
 

@@ -1,9 +1,6 @@
 """Tests for the JSONL-backed result store (repro.experiments.store)."""
 
-import dataclasses
 import json
-
-import pytest
 
 from repro.experiments.runner import Fidelity, RunResult
 from repro.experiments.store import (

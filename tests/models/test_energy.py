@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.energy.model import EnergyAccount, EnergyBreakdown
+from repro.energy.model import EnergyAccount
 from repro.energy.params import (
     E_BUFFER_PJ_PER_BIT,
     E_LAUNCH_PJ_PER_BIT,

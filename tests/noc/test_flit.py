@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.noc.flit import Flit, FlitType, Packet, iter_packet_flits, packetize
+from repro.noc.flit import FlitType, Packet, iter_packet_flits, packetize
 
 
 def make_packet(n_flits=4, flit_bits=32, src=0, dst=1):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.noc.flit import Flit, FlitType, Packet, packetize
+from repro.noc.flit import Packet, packetize
 from repro.noc.link import CreditChannel, Link
 from repro.noc.router import Router, RouterConfig
 

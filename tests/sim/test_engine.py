@@ -83,7 +83,6 @@ class TestEventScheduling:
 
     def test_events_fire_before_components(self, sim):
         order = []
-        rec = Recorder()
 
         class Probe(ClockedComponent):
             def tick(self, cycle):

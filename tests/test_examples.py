@@ -53,6 +53,16 @@ class TestExamples:
         assert "hotspot_drift on dhetpnoc" in out
         assert "Take-away" in out
 
+    def test_closed_loop_shedding(self):
+        out = run_example("closed_loop_shedding.py", "--fidelity", "tiny")
+        assert "closed_loop_shedding on dhetpnoc" in out
+        assert "open_loop_overload on dhetpnoc" in out
+        assert "controller off vs on" in out
+        # The loop actually closes at this fidelity: the controller
+        # fires at least once on observed latency.
+        assert "fired 0 time(s)" not in out
+        assert "Take-away" in out
+
     def test_parallel_sweep_study(self):
         out = run_example("parallel_sweep_study.py", "--fidelity", "tiny",
                           "--seeds", "1", "2", "--workers", "2")

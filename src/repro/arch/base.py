@@ -95,6 +95,7 @@ class PhotonicCrossbarNoC(ClockedComponent):
             ClusterGateway(cluster, self) for cluster in range(config.n_clusters)
         ]
         self._generator: Optional[TrafficGenerator] = None
+        self._generator_is_idle = None
         self._tick_hooks: List = []
         sim.register(self)
 
@@ -120,6 +121,9 @@ class PhotonicCrossbarNoC(ClockedComponent):
     # ------------------------------------------------------------------
     def attach_generator(self, generator: TrafficGenerator) -> None:
         self._generator = generator
+        # Generators without the idle protocol (scenario players, test
+        # doubles) are conservatively treated as always-active.
+        self._generator_is_idle = getattr(generator, "is_idle", None)
 
     def add_tick_hook(self, hook) -> None:
         """Register a callable(cycle) run at the start of every cycle
@@ -151,8 +155,34 @@ class PhotonicCrossbarNoC(ClockedComponent):
         if self._generator is not None:
             self._generator.tick(cycle)
         for gateway in self.gateways:
-            gateway.tick(cycle)
+            if not gateway.is_idle():
+                gateway.tick(cycle)
         self.metrics.measured_cycles += 1
+
+    def is_idle(self) -> bool:
+        """Whole-architecture quiescence for the engine's fast path.
+
+        Tick hooks run unconditionally (they may mutate anything), so any
+        registered hook pins the architecture active. A generator without
+        an ``is_idle`` protocol is treated as always-active — skipping it
+        would desynchronise its random stream.
+        """
+        if self._tick_hooks:
+            return False
+        if self._generator is not None:
+            checker = self._generator_is_idle
+            if checker is None or not checker():
+                return False
+        for gateway in self.gateways:
+            if not gateway.is_idle():
+                return False
+        return True
+
+    def skip_cycles(self, start_cycle: int, stop_cycle: int) -> None:
+        """Account a jumped idle span: idle cycles are still measured
+        cycles, and settle boundaries must match the per-cycle loop."""
+        self.metrics.measured_cycles += stop_cycle - start_cycle
+        self.current_cycle = stop_cycle - 1
 
     def note_flit_delivered(self, flit: Flit, cycle: int, photonic: bool) -> None:
         self.metrics.flits_delivered += 1
@@ -181,14 +211,30 @@ class PhotonicCrossbarNoC(ClockedComponent):
     # ------------------------------------------------------------------
     # Warm-up reset and finalisation
     # ------------------------------------------------------------------
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
+        """Discard warm-up statistics.
+
+        With *at_cycle* (the warm-up boundary, i.e. the first measured
+        cycle) buffer residency is settled at the boundary and the
+        accounting clocks re-based there, so flits resident across the
+        boundary charge warm-up residency to the discarded bucket. The
+        legacy no-argument form settles at the last ticked cycle and
+        keeps the old accounting clock (off by one cycle for resident
+        flits) for external callers that predate the boundary fix.
+        """
         self.metrics.reset()
         self.energy.reset()
         for gateway in self.gateways:
-            gateway.settle_buffers(self.current_cycle)
-            gateway.reset_stats()
+            if at_cycle is None:
+                gateway.settle_buffers(self.current_cycle)
+                gateway.reset_stats()
+            else:
+                gateway.reset_stats(at_cycle)
         if self._generator is not None:
             self._generator.reset_stats()
+
+    def reset_stats_at(self, cycle: int) -> None:
+        self.reset_stats(cycle)
 
     def finalize(self) -> None:
         """Settle buffer accounting and charge retention energy.

@@ -140,6 +140,20 @@ class ElectricalMeshNoC(ClockedComponent):
         self.network.tick(cycle)
         self.metrics.measured_cycles += 1
 
+    def is_idle(self) -> bool:
+        if self._generator is not None:
+            checker = getattr(self._generator, "is_idle", None)
+            if checker is None or not checker():
+                return False
+        return self.network.is_idle()
+
+    def skip_cycles(self, start_cycle: int, stop_cycle: int) -> None:
+        """Forward the jumped span to the inner network (it is not
+        registered with the simulator; this wrapper drives it)."""
+        self.current_cycle = stop_cycle - 1
+        self.metrics.measured_cycles += stop_cycle - start_cycle
+        self.network.skip_cycles(start_cycle, stop_cycle)
+
     # ------------------------------------------------------------------
     # Energy: computed from substrate counters at finalize time.
     # ------------------------------------------------------------------
@@ -164,12 +178,15 @@ class ElectricalMeshNoC(ClockedComponent):
     def energy_per_message_pj(self) -> float:
         return self.energy.energy_per_message_pj
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
         self.metrics.reset()
         self.energy.reset()
-        self.network.reset_stats()
+        self.network.reset_stats(at_cycle)
         if self._generator is not None:
             self._generator.reset_stats()
+
+    def reset_stats_at(self, cycle: int) -> None:
+        self.reset_stats(cycle)
 
     # Interface parity helpers -------------------------------------------------
     def lit_wavelengths(self) -> int:
@@ -182,7 +199,7 @@ class ElectricalMeshNoC(ClockedComponent):
         total = self.network.total_buffered_flits
         total += sum(link.in_flight for link in self.network._links)
         total += sum(
-            len(ep.queue) * self.config.bw_set.packet_flits + len(ep._pending_flits)
+            len(ep.queue) * self.config.bw_set.packet_flits + ep.pending_flit_count
             for ep in self.network.endpoints.values()
         )
         return total

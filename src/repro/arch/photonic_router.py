@@ -114,9 +114,21 @@ class ClusterGateway:
             RoundRobinArbiter(config.n_clusters)
             for _ in range(config.cores_per_cluster)
         ]
+        # Ejection-ready index: per core slot, the set of source clusters
+        # whose RX-buffer front flit targets that core. Maintained on
+        # every RX push/pop so ejection never rescans all buffers.
+        self._rx_ready: List[set] = [set() for _ in range(config.cores_per_cluster)]
+        self._rx_front_slot: Dict[int, Optional[int]] = {
+            src: None for src in self.rx_buffers
+        }
 
         # Intra-cluster all-to-all electrical deliveries: (due, packet).
         self._intra: Deque[Tuple[int, Packet]] = deque()
+
+        #: Flits currently inside this gateway's domain (see
+        #: :meth:`flits_held`), maintained incrementally so the idle
+        #: check is O(1).
+        self._held = 0
 
     # ==================================================================
     # Injection (called by the architecture's submit path)
@@ -128,6 +140,7 @@ class ClusterGateway:
             return False
         self._pipe_flits[slot].extend(packetize(packet))
         self._pipe_packets[slot] += 1
+        self._held += packet.n_flits
         # Source core's electronic router traversal.
         self.arch.energy.charge_router_traversal(packet.size_bits)
         return True
@@ -136,6 +149,7 @@ class ClusterGateway:
         """All-to-all copper path within the cluster (thesis 3.1)."""
         latency = self.config.intra_cluster_latency_cycles + packet.n_flits
         self._intra.append((cycle + latency, packet))
+        self._held += packet.n_flits
         self.arch.energy.charge_router_traversal(2 * packet.size_bits)
         self.arch.energy.charge_buffer_write(packet.size_bits)
         self.arch.energy.charge_buffer_read(packet.size_bits)
@@ -145,12 +159,31 @@ class ClusterGateway:
     # Per-cycle step (driven by the architecture)
     # ==================================================================
     def tick(self, cycle: int) -> None:
-        self.reservation_channel.tick(cycle)
-        self._deliver_inbound(cycle)
-        self._inject_step(cycle)
+        reservation_channel = self.reservation_channel
+        if reservation_channel._outbound or reservation_channel._responses:
+            reservation_channel.tick(cycle)
+        if self._inbound:
+            self._deliver_inbound(cycle)
+        if any(self._pipe_flits):
+            self._inject_step(cycle)
         self._tx_step(cycle)
         self._eject_step(cycle)
-        self._deliver_intra(cycle)
+        if self._intra:
+            self._deliver_intra(cycle)
+
+    def is_idle(self) -> bool:
+        """True when :meth:`tick` would be a no-op: no flit anywhere in
+        the gateway's domain, the TX FSM at rest, and no reservation
+        traffic in flight on the (source-owned) reservation waveguide.
+        Every arbitration stage is stateless on an empty request set, so
+        a gateway in this state can be skipped without drifting any
+        round-robin pointer, statistic, or energy counter."""
+        return (
+            self._held == 0
+            and self._tx_state == self.IDLE
+            and not self.reservation_channel._outbound
+            and not self.reservation_channel._responses
+        )
 
     # -- injection pipes -------------------------------------------------
     def _inject_step(self, cycle: int) -> None:
@@ -180,7 +213,9 @@ class ClusterGateway:
     def _tx_step(self, cycle: int) -> None:
         if self._tx_state == self.BACKOFF and cycle >= self._backoff_until:
             self._send_reservation(cycle, retry=True)
-        if self._tx_state == self.IDLE:
+        if self._tx_state == self.IDLE and any(
+            port._complete_vcs for port in self.inputs
+        ):
             self._tx_arbitrate(cycle)
         if self._tx_state == self.STREAMING:
             self._tx_stream(cycle)
@@ -189,9 +224,9 @@ class ClusterGateway:
         """The two arbitration stages of the 3-stage switch."""
         nominees: Dict[int, int] = {}
         for port_idx, port in enumerate(self.inputs):
-            ready = [
-                vcb.vc_id for vcb in port if vcb.has_complete_packet()
-            ]
+            if not port._complete_vcs:
+                continue
+            ready = port.complete_vc_ids()
             winner = self._input_arbiters[port_idx].grant(ready)
             if winner is not None:
                 nominees[port_idx] = winner
@@ -309,6 +344,7 @@ class ClusterGateway:
         vcb = self.inputs[self._tx_port][self._tx_vc]
         while True:
             flit = vcb.pop(cycle)
+            self._held -= 1
             self.arch.energy.charge_buffer_read(flit.bits)
             if flit.is_tail:
                 break
@@ -337,6 +373,9 @@ class ClusterGateway:
             wanted -= 1
         launched = self.channel.tick(cycle)
         if launched:
+            # Launched flits leave this gateway's domain for the
+            # destination's inbound queue.
+            self._held -= len(launched)
             bits = sum(f.bits for f in launched)
             self.arch.energy.charge_photonic_transmit(bits)
             reservation = self._tx_reservation
@@ -353,6 +392,7 @@ class ClusterGateway:
     # ==================================================================
     def receive_flit(self, flit: Flit, due_cycle: int) -> None:
         self._inbound.append((due_cycle, flit))
+        self._held += 1
 
     def _deliver_inbound(self, cycle: int) -> None:
         inbound = self._inbound
@@ -362,21 +402,38 @@ class ClusterGateway:
             buffer = self.rx_buffers[src]
             buffer.push(flit, cycle)
             self._rx_reserved[src] -= 1
+            self._rx_front_changed(src)
             self.arch.energy.charge_buffer_write(flit.bits)
 
+    def _rx_front_changed(self, src: int) -> None:
+        """Re-index *src*'s RX buffer after its front flit changed."""
+        front = self.rx_buffers[src].peek()
+        new_slot = self.config.core_slot(front.dst) if front is not None else None
+        old_slot = self._rx_front_slot[src]
+        if new_slot != old_slot:
+            if old_slot is not None:
+                self._rx_ready[old_slot].discard(src)
+            if new_slot is not None:
+                self._rx_ready[new_slot].add(src)
+            self._rx_front_slot[src] = new_slot
+
     def _eject_step(self, cycle: int) -> None:
-        """One flit per core per cycle from the RX buffers to the cores."""
+        """One flit per core per cycle from the RX buffers to the cores.
+
+        Candidates come from the ready index in ascending-source order
+        (sets hold source ids; ``sorted`` restores the scan order the
+        arbiters have always seen), so skipping empty slots changes
+        nothing observable."""
         for slot in range(self.config.cores_per_cluster):
-            core = self.cluster_id * self.config.cores_per_cluster + slot
-            candidates = [
-                src
-                for src, buffer in self.rx_buffers.items()
-                if not buffer.is_empty() and buffer.peek().dst == core
-            ]
-            src = self._eject_arbiters[slot].grant(candidates)
+            ready = self._rx_ready[slot]
+            if not ready:
+                continue
+            src = self._eject_arbiters[slot].grant(sorted(ready))
             if src is None:
                 continue
             flit = self.rx_buffers[src].pop(cycle)
+            self._held -= 1
+            self._rx_front_changed(src)
             self.arch.energy.charge_buffer_read(flit.bits)
             self.arch.energy.charge_router_traversal(flit.bits)
             self.arch.note_flit_delivered(flit, cycle, photonic=True)
@@ -385,6 +442,7 @@ class ClusterGateway:
         intra = self._intra
         while intra and intra[0][0] <= cycle:
             _due, packet = intra.popleft()
+            self._held -= packet.n_flits
             self.arch.note_packet_delivered_whole(packet, cycle, photonic=False)
 
     # ==================================================================
@@ -401,11 +459,14 @@ class ClusterGateway:
         total += sum(b.flit_cycles for b in self.rx_buffers.values())
         return total
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
+        """Clear statistics; with *at_cycle* the buffers settle residency
+        at the boundary and re-base their accounting clocks, so warm-up
+        flit-cycles never leak into the measured window."""
         for port in self.inputs:
-            port.reset_stats()
+            port.reset_stats(at_cycle)
         for buffer in self.rx_buffers.values():
-            buffer.reset_stats()
+            buffer.reset_stats(at_cycle)
         self.channel.reset_stats()
         self.reservation_channel.reset_stats()
 
@@ -419,7 +480,13 @@ class ClusterGateway:
         """Every flit currently inside this gateway's domain (injection
         pipes, input VCs, the write channel's serialization queue, the
         in-flight photonic window, RX buffers and the intra-cluster pipe).
-        Used by the flit-conservation invariant tests."""
+        Used by the flit-conservation invariant tests. O(1): the counter
+        is maintained at every boundary crossing (audited by
+        :meth:`audit_flits_held`)."""
+        return self._held
+
+    def audit_flits_held(self) -> int:
+        """Recount :meth:`flits_held` from first principles (test hook)."""
         total = sum(len(pipe) for pipe in self._pipe_flits)
         total += sum(port.occupancy for port in self.inputs)
         if self.channel.active is not None:

@@ -7,12 +7,14 @@ VCs per port with a 64-flit buffer depth per VC.
 Buffers track *flit-cycle occupancy* so the energy model can charge buffer
 retention (thesis 3.4.1.2: "since flits occupy the buffers for shorter
 duration, the photonic buffer energy is lesser in case of d-HetPNoC").
+Residency is accumulated with span arithmetic — occupancy × elapsed
+cycles at each push/pop — so idle spans cost nothing to account.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Set
 
 from repro.noc.flit import Flit
 
@@ -44,6 +46,8 @@ class VirtualChannelBuffer:
         "route",
         "downstream_vc",
         "tails_contained",
+        "_owner",
+        "_front_complete",
     )
 
     def __init__(self, depth: int, vc_id: int = 0):
@@ -66,6 +70,10 @@ class VirtualChannelBuffer:
         self.route: Optional[int] = None
         #: Downstream VC granted by VC allocation (None until allocated).
         self.downstream_vc: Optional[int] = None
+        #: Owning PortBuffer, if any — kept current on aggregate occupancy
+        #: and complete-packet membership so those queries are O(1).
+        self._owner: Optional["PortBuffer"] = None
+        self._front_complete = False
 
     # -- FIFO interface -------------------------------------------------
     def __len__(self) -> int:
@@ -96,6 +104,9 @@ class VirtualChannelBuffer:
         self.total_flits_in += 1
         if flit.is_tail:
             self.tails_contained += 1
+        if self._owner is not None:
+            self._owner._occupancy += 1
+        self._refresh_front_complete()
 
     def pop(self, cycle: int = 0) -> Flit:
         if not self._fifo:
@@ -109,6 +120,9 @@ class VirtualChannelBuffer:
             # Wormhole state tears down with the tail flit.
             self.route = None
             self.downstream_vc = None
+        if self._owner is not None:
+            self._owner._occupancy -= 1
+        self._refresh_front_complete()
         return flit
 
     def has_complete_packet(self) -> bool:
@@ -116,10 +130,23 @@ class VirtualChannelBuffer:
 
         Flits of one packet enter a VC contiguously, so a head flit at the
         front plus any buffered tail means the front packet is complete
-        (the gateway's store-and-forward criterion).
+        (the gateway's store-and-forward criterion). The answer is cached
+        on push/pop, making this an O(1) field read on the transmit hot
+        path.
         """
-        head = self.peek()
-        return head is not None and head.is_head and self.tails_contained > 0
+        return self._front_complete
+
+    def _refresh_front_complete(self) -> None:
+        fifo = self._fifo
+        complete = bool(fifo) and fifo[0].is_head and self.tails_contained > 0
+        if complete != self._front_complete:
+            self._front_complete = complete
+            owner = self._owner
+            if owner is not None:
+                if complete:
+                    owner._complete_vcs.add(self.vc_id)
+                else:
+                    owner._complete_vcs.discard(self.vc_id)
 
     def _account(self, cycle: int) -> None:
         """Accumulate flit-cycles of residence up to *cycle*."""
@@ -137,10 +164,24 @@ class VirtualChannelBuffer:
             return 0
         return max(0, cycle - self._entry_cycles[0])
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
+        """Clear statistics, optionally settling residency first.
+
+        When *at_cycle* is given (the warm-up boundary), occupancy is
+        accounted up to that cycle and the accounting clock re-based to
+        it, so flits resident across the boundary charge their warm-up
+        residency to the discarded pre-reset bucket — not to the
+        measured run. Without *at_cycle* the legacy behaviour (zero the
+        counters, keep the accounting clock) is preserved for callers
+        that reset between independent drains of an empty network.
+        """
+        if at_cycle is not None:
+            self._account(at_cycle)
         self.total_flits_in = 0
         self.total_flits_out = 0
         self.flit_cycles = 0
+        if at_cycle is not None:
+            self._last_accounted_cycle = at_cycle
 
     def __repr__(self) -> str:
         return f"VC(id={self.vc_id}, {len(self._fifo)}/{self.depth})"
@@ -151,7 +192,9 @@ class PortBuffer:
 
     Provides the helpers the 3-stage router pipeline needs: finding a VC
     with a routable head flit, credit accounting per VC, and aggregate
-    occupancy for stats.
+    occupancy for stats. Aggregate occupancy and the set of VCs holding
+    a complete front packet are maintained incrementally by the member
+    VCs, so the per-cycle pipeline can test them in O(1).
     """
 
     def __init__(self, n_vcs: int, depth: int):
@@ -160,6 +203,10 @@ class PortBuffer:
         self.vcs: List[VirtualChannelBuffer] = [
             VirtualChannelBuffer(depth, vc_id=i) for i in range(n_vcs)
         ]
+        self._occupancy = 0
+        self._complete_vcs: Set[int] = set()
+        for vc in self.vcs:
+            vc._owner = self
 
     def __getitem__(self, vc: int) -> VirtualChannelBuffer:
         return self.vcs[vc]
@@ -172,7 +219,16 @@ class PortBuffer:
 
     @property
     def occupancy(self) -> int:
-        return sum(len(vc) for vc in self.vcs)
+        return self._occupancy
+
+    @property
+    def complete_vc_count(self) -> int:
+        """Number of VCs whose front packet is fully buffered."""
+        return len(self._complete_vcs)
+
+    def complete_vc_ids(self) -> List[int]:
+        """VC ids with a complete front packet, in ascending order."""
+        return sorted(self._complete_vcs)
 
     def free_vc_ids(self) -> List[int]:
         """VCs not currently owned by a packet (empty and unrouted)."""
@@ -188,9 +244,9 @@ class PortBuffer:
         for vc in self.vcs:
             vc.settle(cycle)
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
         for vc in self.vcs:
-            vc.reset_stats()
+            vc.reset_stats(at_cycle)
 
     @property
     def flit_cycles(self) -> int:

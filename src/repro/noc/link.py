@@ -26,8 +26,10 @@ class Link:
     width:
         Items accepted per cycle (1 flit/cycle for electrical links).
 
-    The owner advances the link by calling :meth:`deliver` each cycle;
-    delivered items are handed to the sink callback.
+    The owner advances the link by calling :meth:`deliver` each cycle —
+    either by polling, or (the fast path) by arming a due-cycle queue
+    from the :attr:`on_send` hook, which fires whenever the link goes
+    from empty to carrying traffic.
     """
 
     def __init__(
@@ -50,6 +52,10 @@ class Link:
         self._current_cycle = -1
         self.items_carried = 0
         self.bits_carried = 0
+        #: Called with the earliest due cycle when the link transitions
+        #: from idle to carrying traffic (set by the owning network to
+        #: arm its delivery queue).
+        self.on_send: Optional[Callable[[int], None]] = None
 
     def send(self, item: Any, cycle: int, bits: int = 0) -> None:
         """Enqueue *item* at *cycle*; it arrives at ``cycle + latency``."""
@@ -61,9 +67,12 @@ class Link:
                 f"link {self.name!r}: more than {self.width} sends in cycle {cycle}"
             )
         self._sent_this_cycle += 1
+        was_empty = not self._in_flight
         self._in_flight.append((cycle + self.latency, item))
         self.items_carried += 1
         self.bits_carried += bits
+        if was_empty and self.on_send is not None:
+            self.on_send(cycle + self.latency)
 
     def can_send(self, cycle: int) -> bool:
         if cycle != self._current_cycle:
@@ -83,6 +92,11 @@ class Link:
     @property
     def in_flight(self) -> int:
         return len(self._in_flight)
+
+    @property
+    def next_due(self) -> Optional[int]:
+        """Arrival cycle of the oldest in-flight item (None when empty)."""
+        return self._in_flight[0][0] if self._in_flight else None
 
     def reset_stats(self) -> None:
         self.items_carried = 0

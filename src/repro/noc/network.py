@@ -7,13 +7,20 @@ Builds a complete wormhole network over any :class:`~repro.noc.topology.Topology
 Each topology node gets a router with one port per neighbor plus a local
 port. An :class:`Endpoint` per node injects packets from a queue and
 collects ejected flits, recording latency and delivered bits.
+
+Per-cycle work is activity-driven: link delivery pops a due-cycle heap
+(armed by :attr:`Link.on_send`) instead of polling every link, endpoints
+are visited only while they hold work, and routers tick only while
+:meth:`~repro.noc.router.Router.is_active`. The network also implements
+the engine's idle protocol so fully-quiet spans are jumped outright.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.noc.flit import Flit, Packet, packetize
 from repro.noc.link import CreditChannel, Link
@@ -25,12 +32,20 @@ from repro.sim.engine import ClockedComponent, Simulator
 
 @dataclass
 class NetworkMetrics:
-    """Aggregate delivery metrics for an electrical network run."""
+    """Aggregate delivery metrics for an electrical network run.
+
+    ``bits_delivered`` counts every bit ever ejected (conservation
+    checks); ``measured_bits`` counts only bits ejected while the
+    measurement window was open, and is what bandwidth is computed
+    from — draining in-flight traffic after the measured run neither
+    adds cycles nor bits to the window.
+    """
 
     packets_injected: int = 0
     packets_delivered: int = 0
     flits_delivered: int = 0
     bits_delivered: int = 0
+    measured_bits: int = 0
     latency_sum: float = 0.0
     latency_max: int = 0
     measured_cycles: int = 0
@@ -44,7 +59,7 @@ class NetworkMetrics:
     def delivered_gbps(self, clock_hz: float) -> float:
         if self.measured_cycles <= 0:
             return 0.0
-        return self.bits_delivered * clock_hz / self.measured_cycles / 1e9
+        return self.measured_bits * clock_hz / self.measured_cycles / 1e9
 
 
 class Endpoint:
@@ -57,9 +72,20 @@ class Endpoint:
         self._pending_flits: Deque[Flit] = deque()
         self._active_vc: Optional[int] = None
 
+    @property
+    def has_work(self) -> bool:
+        """True while packets are queued or a packet is mid-injection."""
+        return bool(self._pending_flits or self.queue)
+
+    @property
+    def pending_flit_count(self) -> int:
+        """Flits of the packet currently being injected (0 between packets)."""
+        return len(self._pending_flits)
+
     def submit(self, packet: Packet) -> None:
         self.queue.append(packet)
         self.network.metrics.packets_injected += 1
+        self.network._active_eps.add(self.node)
 
     def inject_step(self, cycle: int) -> None:
         """Move one flit per cycle into the local router port if space allows."""
@@ -91,6 +117,8 @@ class Endpoint:
         metrics = self.network.metrics
         metrics.flits_delivered += 1
         metrics.bits_delivered += flit.bits
+        if self.network._measuring:
+            metrics.measured_bits += flit.bits
         if flit.is_tail:
             metrics.packets_delivered += 1
             latency = cycle - flit.packet.created_cycle
@@ -132,7 +160,20 @@ class ElectricalNetwork(ClockedComponent):
         self.endpoints: Dict[int, Endpoint] = {}
         self._links: List[Link] = []
         self._local_ports: Dict[int, int] = {}
+        #: (due_cycle, link_index) min-heap; a non-empty link has exactly
+        #: one entry (armed on its idle->busy edge, re-armed after each
+        #: delivery that leaves items in flight).
+        self._link_due: List[tuple] = []
+        #: Nodes whose endpoint currently holds queued or pending work.
+        self._active_eps: Set[int] = set()
+        #: Open measurement window: measured cycles/bits accumulate only
+        #: while True (drain-after-measure freezes it).
+        self._measuring = True
         self._build()
+        #: Routers in deterministic node order for the tick sweep.
+        self._router_order: List[Router] = [
+            self.routers[node] for node in self.topology.nodes()
+        ]
 
     # ------------------------------------------------------------------
     def local_port(self, node: int) -> int:
@@ -164,6 +205,7 @@ class ElectricalNetwork(ClockedComponent):
                     sink=self._make_flit_sink(neighbor, peer_in_port),
                     name=f"{self.name}.{node}->{neighbor}",
                 )
+                link.on_send = self._make_link_armer(len(self._links))
                 credits = CreditChannel(latency=self.link_latency)
                 router.connect_output_link(port, link, credits)
                 peer.connect_credit_return(peer_in_port, credits)
@@ -197,40 +239,101 @@ class ElectricalNetwork(ClockedComponent):
 
         return sink
 
+    def _make_link_armer(self, index: int) -> Callable[[int], None]:
+        def arm(due_cycle: int) -> None:
+            heapq.heappush(self._link_due, (due_cycle, index))
+
+        return arm
+
     # ------------------------------------------------------------------
     _cycle: int = 0
 
     def tick(self, cycle: int) -> None:
         self._cycle = cycle
-        for link in self._links:
+        # Deliver only links with traffic due; the (due, index) key pops
+        # same-cycle deliveries in wiring order, matching a full poll.
+        due = self._link_due
+        while due and due[0][0] <= cycle:
+            _when, index = heapq.heappop(due)
+            link = self._links[index]
             link.deliver(cycle)
-        for node in self.topology.nodes():
-            self.endpoints[node].inject_step(cycle)
-        for node in self.topology.nodes():
-            self.routers[node].tick(cycle)
-        self.metrics.measured_cycles += 1
+            next_due = link.next_due
+            if next_due is not None:
+                heapq.heappush(due, (next_due, index))
+        active = self._active_eps
+        if active:
+            for node in sorted(active):
+                endpoint = self.endpoints[node]
+                endpoint.inject_step(cycle)
+                if not endpoint.has_work:
+                    active.discard(node)
+        for router in self._router_order:
+            if router.is_active():
+                router.tick(cycle)
+        if self._measuring:
+            self.metrics.measured_cycles += 1
+
+    def is_idle(self) -> bool:
+        """No traffic anywhere: nothing on links, no endpoint work, every
+        router quiescent. Ticking in this state would only burn cycles."""
+        if self._active_eps or self._link_due:
+            return False
+        for router in self._router_order:
+            if router.is_active():
+                return False
+        return True
+
+    def skip_cycles(self, start_cycle: int, stop_cycle: int) -> None:
+        """Account an idle span the engine jumped over: idle cycles inside
+        an open measurement window are still measured cycles."""
+        self._cycle = stop_cycle - 1
+        if self._measuring:
+            self.metrics.measured_cycles += stop_cycle - start_cycle
 
     def submit(self, packet: Packet) -> None:
         """Queue *packet* at its source endpoint."""
         self.endpoints[packet.src].submit(packet)
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
+        """Clear all statistics and reopen the measurement window.
+
+        With *at_cycle* (the warm-up boundary) router buffer residency is
+        settled at the boundary before clearing, so flits resident across
+        it don't leak warm-up flit-cycles into the measured run.
+        """
         self.metrics = NetworkMetrics()
+        self._measuring = True
         for router in self.routers.values():
-            router.reset_stats()
+            router.reset_stats(at_cycle)
         for link in self._links:
             link.reset_stats()
+
+    def reset_stats_at(self, cycle: int) -> None:
+        self.reset_stats(cycle)
 
     @property
     def total_buffered_flits(self) -> int:
         return sum(r.buffered_flits for r in self.routers.values())
 
     def drain(self, sim: Simulator, max_cycles: int = 100_000) -> bool:
-        """Run until all queues and buffers empty; True if fully drained."""
+        """Run until all queues and buffers empty; True if fully drained.
+
+        When called after a measured run (``measured_cycles > 0``) the
+        measurement window is frozen first: drain cycles exist only to
+        flush in-flight traffic and must not dilute ``delivered_gbps``.
+        A cold-start drain (nothing measured yet — the drive-and-drain
+        pattern used by unit tests) keeps the window open so bandwidth
+        remains observable.
+        """
+        if self.metrics.measured_cycles > 0:
+            self._measuring = False
         for _ in range(max_cycles):
-            busy = self.total_buffered_flits or any(
-                ep.queue or ep._pending_flits for ep in self.endpoints.values()
-            ) or any(link.in_flight for link in self._links)
+            busy = (
+                self._link_due
+                or self._active_eps
+                or self.total_buffered_flits
+                or any(ep.has_work for ep in self.endpoints.values())
+            )
             if not busy:
                 return True
             sim.step()

@@ -92,6 +92,9 @@ class Router(ClockedComponent):
         self._credit_return: List[Optional[CreditChannel]] = [None] * n_ports
         # Credit arrival channels from each *downstream* router (per output).
         self._credit_arrival: List[Optional[CreditChannel]] = [None] * n_ports
+        # Wired (port, channel) pairs only — the per-cycle credit sweep
+        # never has to skip over unwired ports.
+        self._credit_arrivals_wired: List[tuple] = []
 
         # Statistics.
         self.flits_routed = 0
@@ -109,6 +112,7 @@ class Router(ClockedComponent):
         peer router with the same :class:`RouterConfig`."""
         self._out_links[port] = link
         self._credit_arrival[port] = credit_arrival
+        self._credit_arrivals_wired.append((port, credit_arrival))
         self._credits[port] = [self.config.vc_depth] * self.config.n_vcs
 
     def connect_output_sink(self, port: int, sink: Callable[[Flit], None]) -> None:
@@ -143,13 +147,27 @@ class Router(ClockedComponent):
         nominations = self._stage_input_arbitration(cycle)
         self._stage_output_arbitration(nominations, cycle)
 
+    def is_active(self) -> bool:
+        """True when :meth:`tick` could do work: buffered flits anywhere,
+        or credits still in flight toward this router. The arbiters and
+        crossbar hold no cross-cycle obligations of their own (an empty
+        grant is stateless), so an inactive router's tick is a no-op."""
+        for pb in self.inputs:
+            if pb._occupancy:
+                return True
+        for _port, channel in self._credit_arrivals_wired:
+            if channel._in_flight:
+                return True
+        return False
+
     def _collect_credits(self, cycle: int) -> None:
-        for port, channel in enumerate(self._credit_arrival):
-            if channel is None:
+        for port, channel in self._credit_arrivals_wired:
+            if not channel._in_flight:
                 continue
+            credits = self._credits[port]
             for vc in channel.deliver(cycle):
-                self._credits[port][vc] += 1
-                if self._credits[port][vc] > self.config.vc_depth:
+                credits[vc] += 1
+                if credits[vc] > self.config.vc_depth:
                     raise RuntimeError(
                         f"{self.name}: credit overflow on port {port} vc {vc}"
                     )
@@ -157,6 +175,8 @@ class Router(ClockedComponent):
     def _stage_route(self, cycle: int) -> None:
         """Route computation + downstream VC allocation for head flits."""
         for in_port, port_buffer in enumerate(self.inputs):
+            if not port_buffer._occupancy:
+                continue
             for vcb in port_buffer:
                 head = vcb.peek()
                 if head is None or not head.is_head:
@@ -183,6 +203,10 @@ class Router(ClockedComponent):
         """Each input port nominates one ready VC; group nominees by output."""
         nominations: Dict[int, List[tuple]] = {}
         for in_port, port_buffer in enumerate(self.inputs):
+            if not port_buffer._occupancy:
+                # Arbiters are stateless on empty request sets, so an
+                # empty port can be skipped without perturbing priority.
+                continue
             ready_vcs = [
                 vcb.vc_id
                 for vcb in port_buffer
@@ -262,10 +286,15 @@ class Router(ClockedComponent):
         for pb in self.inputs:
             pb.settle(cycle)
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, at_cycle: Optional[int] = None) -> None:
+        """Clear statistics; with *at_cycle*, settle buffer residency at
+        the boundary first (see ``VirtualChannelBuffer.reset_stats``)."""
         self.flits_routed = 0
         self.flits_forwarded = 0
         self.bits_forwarded = 0
         self.crossbar.reset_stats()
         for pb in self.inputs:
-            pb.reset_stats()
+            pb.reset_stats(at_cycle)
+
+    def reset_stats_at(self, cycle: int) -> None:
+        self.reset_stats(cycle)

@@ -491,6 +491,13 @@ class ScenarioPlayer:
         self.generator.set_scale(scale)
         self.generator.tick(cycle)
 
+    def is_idle(self) -> bool:
+        """Always active: the player advances phase/feedback/fault state
+        on every cycle boundary, and FeedbackRule evaluation cycles are
+        part of the determinism contract — skipping even a provably
+        injection-free cycle could shift a rule's trigger cycle."""
+        return False
+
     def reset_stats(self) -> None:
         """Warm-up reset: drop counters and re-base the open window.
 

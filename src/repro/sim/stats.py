@@ -119,7 +119,25 @@ class Histogram:
         return self._summary.max if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Approximate percentile (bucket upper edge); p in [0, 100]."""
+        """Approximate percentile (bucket upper edge); p in [0, 100].
+
+        The answer is always the upper edge of a bucket that actually
+        holds samples: empty leading buckets are skipped, so ``p=0``
+        reports where the smallest sample lies rather than the first
+        bucket's edge. Samples past the last bucket land in the overflow
+        bucket, whose edge is ``(n_buckets + 1) * bucket_width``.
+
+        >>> h = Histogram(bucket_width=10.0, n_buckets=4)
+        >>> for v in (25.0, 27.0, 31.0):
+        ...     h.add(v)
+        >>> h.percentile(0)     # smallest sample is in [20, 30)
+        30.0
+        >>> h.percentile(100)   # largest sample is in [30, 40)
+        40.0
+        >>> h.add(1000.0)       # overflow bucket edge: (4 + 1) * 10
+        >>> h.percentile(100)
+        50.0
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.count == 0:
@@ -127,6 +145,8 @@ class Histogram:
         target = self.count * p / 100.0
         seen = 0
         for idx, n in enumerate(self._buckets):
+            if n == 0:
+                continue
             seen += n
             if seen >= target:
                 return (idx + 1) * self.bucket_width

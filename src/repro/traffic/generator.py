@@ -61,6 +61,7 @@ class TrafficGenerator:
         ]
         self._scale = 1.0
         self._probabilities = [min(1.0, rate) for rate in self._base_rates]
+        self._any_active = any(p > 0.0 for p in self._probabilities)
         self.offered_load = offered_load_packets_per_cycle
         # Stats.
         self.packets_offered = 0
@@ -100,10 +101,20 @@ class TrafficGenerator:
         self._probabilities = [
             min(1.0, rate * scale) for rate in self._base_rates
         ]
+        self._any_active = any(p > 0.0 for p in self._probabilities)
 
     @property
     def scale(self) -> float:
         return self._scale
+
+    def is_idle(self) -> bool:
+        """True when every per-core probability is zero.
+
+        :meth:`tick` short-circuits zero-probability cores *before*
+        drawing from the RNG, so skipping a fully-zeroed generator
+        consumes no randomness and cannot desynchronise the stream.
+        """
+        return not self._any_active
 
     def tick(self, cycle: int) -> None:
         """One injection round: Bernoulli trial per core."""

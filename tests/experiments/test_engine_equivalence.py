@@ -1,0 +1,96 @@
+"""Fast-path equivalence: event-driven engine == naive per-cycle loop.
+
+The fast path's whole claim is that skipped work is provably no-op, so
+every measured quantity must come out *bitwise identical* to the naive
+reference loop — same RNG draws, same latencies, same energy. These
+tests run the same configurations under both loops (selected via the
+``REPRO_ENGINE_NAIVE`` environment variable, which ``_run_once`` reads
+when it constructs its ``Simulator``) and compare full ``RunResult``
+records with ``==``.
+"""
+
+import pytest
+
+from repro.experiments.runner import Fidelity, _run_once
+from repro.sim.engine import NAIVE_ENGINE_ENV
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+#: Short schedule: long enough to exercise reservation round-trips,
+#: retries and warm-up reset; short enough that the naive runs keep the
+#: suite quick.
+FIDELITY = Fidelity("equivalence", 500, 100, (0.4,))
+
+#: (arch, pattern, offered_gbps, scenario) — spans idle skipping
+#: (zero/low load), saturation, both architectures, fault injection and
+#: closed-loop feedback (the scenario player must never be skipped).
+CASES = [
+    ("dhetpnoc", "uniform", 0.0, None),
+    ("dhetpnoc", "uniform", 20.0, None),
+    ("dhetpnoc", "skewed3", 400.0, None),
+    ("firefly", "uniform", 20.0, None),
+    ("dhetpnoc", "skewed3", 400.0, "fault_storm"),
+    ("dhetpnoc", "skewed3", 480.0, "closed_loop_shedding"),
+]
+
+
+def run_case(monkeypatch, naive, arch, pattern, offered, scenario):
+    monkeypatch.setenv(NAIVE_ENGINE_ENV, "1" if naive else "0")
+    return _run_once(arch, BW_SET_1, pattern, offered, FIDELITY,
+                     seed=1, scenario=scenario)
+
+
+@pytest.mark.parametrize("arch,pattern,offered,scenario", CASES)
+def test_fast_path_matches_naive_bitwise(monkeypatch, arch, pattern,
+                                         offered, scenario):
+    fast = run_case(monkeypatch, False, arch, pattern, offered, scenario)
+    naive = run_case(monkeypatch, True, arch, pattern, offered, scenario)
+    # RunResult is a frozen dataclass: == compares every field, including
+    # the per-phase windows of scenario runs.
+    assert fast == naive
+
+
+def test_fast_path_is_deterministic(monkeypatch):
+    a = run_case(monkeypatch, False, "dhetpnoc", "uniform", 20.0, None)
+    b = run_case(monkeypatch, False, "dhetpnoc", "uniform", 20.0, None)
+    assert a == b
+
+
+def test_gateway_held_counter_matches_enumeration(monkeypatch):
+    """The O(1) ``flits_held`` counter never drifts from the full audit.
+
+    ``audit_flits_held`` re-derives the held-flit count by enumerating
+    every pipe, buffer and in-flight channel; the incremental ``_held``
+    counter must agree at every cycle, across injection, transmission,
+    ejection and abandonment.
+    """
+    from repro.arch.config import SystemConfig
+    from repro.arch.registry import architectures
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+    from repro.traffic.generator import TrafficGenerator
+    from repro.traffic.patterns import pattern_by_name
+
+    monkeypatch.delenv(NAIVE_ENGINE_ENV, raising=False)
+    streams = RandomStreams(1)
+    config = SystemConfig(bw_set=BW_SET_1)
+    sim = Simulator(seed=1)
+    pattern = pattern_by_name("skewed3").bind(
+        BW_SET_1, config.n_clusters, config.cores_per_cluster,
+        streams.get("placement"),
+    )
+    arch = architectures.get("dhetpnoc")(sim, config, pattern)
+    generator = TrafficGenerator.for_offered_gbps(
+        pattern, 400.0, streams.get("traffic"), arch.submit, config.clock_hz
+    )
+    arch.attach_generator(generator)
+
+    def audit(cycle):
+        for gateway in arch.gateways:
+            assert gateway.flits_held() == gateway.audit_flits_held(), (
+                f"cycle {cycle}: gateway {gateway.cluster_id} counter "
+                "drifted from enumeration"
+            )
+
+    arch.add_tick_hook(audit)
+    sim.run(300)
+    audit(sim.cycle)

@@ -110,6 +110,13 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
         _run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0, fidelity,
                   seed=BENCH_SEED)
 
+    def run_low_load() -> None:
+        # Near-idle run: most gateways are quiet most cycles, so this
+        # bench tracks the engine's idle-skip machinery (activity-gated
+        # gateway ticks, link due-queues) rather than raw pipeline cost.
+        _run_once("dhetpnoc", BW_SET_1, "uniform", 20.0, fidelity,
+                  seed=BENCH_SEED)
+
     def scenario_fault_storm() -> None:
         _run_once("dhetpnoc", BW_SET_1, "skewed3", 400.0, fidelity,
                   seed=BENCH_SEED, scenario="fault_storm")
@@ -157,6 +164,7 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
 
     return [
         ("run_steady", run_steady),
+        ("run_low_load", run_low_load),
         ("scenario_fault_storm", scenario_fault_storm),
         ("closed_loop_shedding", closed_loop_shedding),
         ("sweep_cache_hits", sweep_cache_hits),

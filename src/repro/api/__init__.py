@@ -36,6 +36,7 @@ from repro.api.base import Registry, RegistryError, lazy_exports
 
 #: name -> (module, attribute); ``None`` attribute = the module itself.
 _LAZY = {
+    "DryRunReport": ("repro.api.session", "DryRunReport"),
     "ExperimentSpec": ("repro.api.spec", "ExperimentSpec"),
     "Session": ("repro.api.session", "Session"),
     "open_session": ("repro.api.session", "open_session"),
@@ -43,6 +44,7 @@ _LAZY = {
 }
 
 __all__ = [
+    "DryRunReport",
     "ExperimentSpec",
     "Registry",
     "RegistryError",

@@ -11,6 +11,7 @@ registry            entry                                  unknown-name error
 ``store_backends``  ``factory(path) -> StoreBackend``      ``ValueError``
 ``bandwidth_sets``  :class:`BandwidthSet` (keyed by index) ``KeyError``
 ``fidelities``      :class:`Fidelity` (keyed by name)      ``ValueError``
+``transports``      ``factory() -> fabric Transport``      ``FabricError``
 ==================  =====================================  =========================
 
 Each registry lives next to its domain (``repro.arch.registry``,
@@ -45,6 +46,7 @@ from repro.api.base import Registry, RegistryError
 from repro.arch.registry import architectures
 from repro.experiments.runner import fidelities
 from repro.experiments.store import store_backends
+from repro.fabric.transport import transports
 from repro.scenarios.library import scenarios
 from repro.traffic.bandwidth_sets import bandwidth_sets
 from repro.traffic.patterns import patterns
@@ -58,4 +60,5 @@ __all__ = [
     "patterns",
     "scenarios",
     "store_backends",
+    "transports",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from dataclasses import dataclass
+
 from repro.api.spec import ExperimentSpec
 from repro.arch.config import SystemConfig
 from repro.experiments.runner import (
@@ -35,6 +37,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.store import ResultStore, StoreBackend, open_store
 from repro.experiments.sweep import (
+    FabricExecutor,
     KneeEstimate,
     ReplicatedPeak,
     SweepExecutor,
@@ -43,7 +46,7 @@ from repro.experiments.sweep import (
 )
 from repro.traffic.bandwidth_sets import BandwidthSet, bandwidth_set_by_index
 
-__all__ = ["Session", "open_session"]
+__all__ = ["CurveCount", "DryRunReport", "Session", "open_session"]
 
 #: Anything a :class:`Session` accepts as its store argument.
 StoreLike = Union[None, str, ResultStore, StoreBackend]
@@ -58,6 +61,74 @@ def _resolve_store(store: StoreLike, backend: str) -> ResultStore:
     if isinstance(store, StoreBackend):
         return ResultStore(backend=store)
     return open_store(str(store), backend)
+
+
+@dataclass(frozen=True)
+class CurveCount:
+    """One curve's row in a :class:`DryRunReport`."""
+
+    arch: str
+    bw_set: int
+    pattern: str
+    scenario: Optional[str]
+    seed: int
+    #: Grid points this curve expands to (estimate in adaptive mode).
+    points: int
+    #: Points the store does not already hold (``None`` when unknown —
+    #: adaptive searches pick their points as they go).
+    to_simulate: Optional[int]
+
+    @property
+    def label(self) -> str:
+        text = f"{self.arch}/set{self.bw_set}/{self.pattern}"
+        if self.scenario:
+            text += f"/{self.scenario}"
+        return f"{text} seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class DryRunReport:
+    """What a spec *would* execute — counted without simulating.
+
+    Grid mode counts are exact: every point's content-hash store key is
+    computed (exactly as execution would) and checked against the
+    session store, so ``to_simulate`` is the real miss count after
+    in-batch dedup. Adaptive mode reports the knee-search estimate
+    from :meth:`ExperimentSpec.points_per_curve` instead.
+    """
+
+    mode: str
+    curves: Tuple[CurveCount, ...]
+    #: Expanded grid points (grid) / estimated probes (adaptive).
+    total_points: int
+    #: Exact store-miss count (``None`` for adaptive mode).
+    to_simulate: Optional[int]
+
+    def describe(self) -> str:
+        """Printable multi-line summary (what ``--dry-run`` shows)."""
+        lines = []
+        if self.mode == "grid":
+            cached = self.total_points - (self.to_simulate or 0)
+            lines.append(
+                f"dry run: {len(self.curves)} curve(s), "
+                f"{self.total_points} grid point(s), "
+                f"{self.to_simulate} to simulate ({cached} cached)"
+            )
+        else:
+            lines.append(
+                f"dry run (adaptive): {len(self.curves)} curve(s), "
+                f"~{self.total_points} simulation(s) estimated "
+                "(store hits resolve during the search)"
+            )
+        for curve in self.curves:
+            if curve.to_simulate is None:
+                lines.append(f"  {curve.label}: ~{curve.points} point(s)")
+            else:
+                lines.append(
+                    f"  {curve.label}: {curve.points} point(s), "
+                    f"{curve.to_simulate} to simulate"
+                )
+        return "\n".join(lines)
 
 
 class Session:
@@ -75,6 +146,11 @@ class Session:
             ``repro.api.registry.store_backends`` name or ``"auto"``).
         config: Optional :class:`~repro.arch.config.SystemConfig`
             override applied to every run of this session.
+        fabric: Coordinator address (``"host:port"``); when set, cache
+            misses are submitted to the distributed fabric through a
+            :class:`~repro.experiments.sweep.FabricExecutor` instead of
+            a local worker pool (``workers`` is then ignored). Results
+            are bitwise-identical either way.
     """
 
     def __init__(
@@ -84,17 +160,24 @@ class Session:
         workers: int = 1,
         backend: str = "auto",
         config: Optional[SystemConfig] = None,
+        fabric: Optional[str] = None,
     ) -> None:
         self.store = _resolve_store(store, backend)
-        self.executor = SweepExecutor(
-            workers=workers, store=self.store, config=config
-        )
+        if fabric is not None:
+            self.executor: "SweepExecutor | FabricExecutor" = FabricExecutor(
+                fabric, store=self.store, config=config
+            )
+        else:
+            self.executor = SweepExecutor(
+                workers=workers, store=self.store, config=config
+            )
 
     # -- lifecycle ----------------------------------------------------------
     @property
     def workers(self) -> int:
-        """Worker-pool width this session fans misses out over."""
-        return self.executor.workers
+        """Worker-pool width this session fans misses out over (1 for
+        a fabric session: the fan-out happens coordinator-side)."""
+        return getattr(self.executor, "workers", 1)
 
     @property
     def config(self) -> Optional[SystemConfig]:
@@ -116,6 +199,55 @@ class Session:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+    # -- planning -----------------------------------------------------------
+    def dry_run(self, spec: ExperimentSpec) -> DryRunReport:
+        """Count what executing *spec* would cost, without simulating.
+
+        Grid mode computes every point's store key (sharing the
+        executor's config/scenario fingerprint caches, so the keys are
+        exactly execution's keys) and checks the session store;
+        adaptive mode reports the per-curve search estimate. The CLI's
+        ``run --spec --dry-run`` prints :meth:`DryRunReport.describe`,
+        and fabric sweeps use the same report to say how much work
+        they are about to scatter.
+        """
+        counts: Dict[
+            Tuple[str, int, str, Optional[str], int], List[int]
+        ] = {}
+        if spec.mode == "grid":
+            seen: set = set()
+            points = spec.to_sweep_spec().expand()
+            for point in points:
+                entry = counts.setdefault(point.curve, [0, 0])
+                entry[0] += 1
+                key = self.executor._key(point, spec.fidelity)
+                if key not in seen and not self.store.contains(
+                    key, (point.arch, point.bw_set_index)
+                ):
+                    entry[1] += 1
+                seen.add(key)
+            curves = tuple(
+                CurveCount(*curve, points=n, to_simulate=miss)
+                for curve, (n, miss) in counts.items()
+            )
+            return DryRunReport(
+                mode=spec.mode,
+                curves=curves,
+                total_points=len(points),
+                to_simulate=sum(c.to_simulate for c in curves),
+            )
+        per_curve = spec.points_per_curve()
+        curves = tuple(
+            CurveCount(*curve, points=per_curve, to_simulate=None)
+            for curve in spec.curves()
+        )
+        return DryRunReport(
+            mode=spec.mode,
+            curves=curves,
+            total_points=spec.estimated_sims(),
+            to_simulate=None,
+        )
 
     # -- execution ----------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> List[RunResult]:
@@ -221,6 +353,7 @@ def open_session(
     workers: int = 1,
     backend: str = "auto",
     config: Optional[SystemConfig] = None,
+    fabric: Optional[str] = None,
     make_default: bool = False,
 ) -> Session:
     """Build a :class:`Session`; optionally adopt its store process-wide.
@@ -230,7 +363,9 @@ def open_session(
     shims read), so old and new call sites share every cached point —
     this is what the CLI does with ``--store``.
     """
-    session = Session(store, workers=workers, backend=backend, config=config)
+    session = Session(
+        store, workers=workers, backend=backend, config=config, fabric=fabric
+    )
     if make_default:
         set_default_store(session.store)
     return session

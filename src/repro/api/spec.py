@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -173,6 +174,41 @@ class ExperimentSpec:
         return self.n_points() // len(
             self.load_fractions or self.fidelity.load_fractions
         )
+
+    def curves(self) -> Tuple[Tuple[str, int, str, Optional[str], int], ...]:
+        """Curve coordinates in axis order: ``(arch, bw_set, pattern,
+        scenario, seed)`` — the key shape :meth:`Session.peaks` uses."""
+        return tuple(
+            (arch, bw_index, pattern, scenario, seed)
+            for arch in self.archs
+            for bw_index in self.bw_sets
+            for pattern in self.patterns
+            for scenario in self.scenarios
+            for seed in self.seeds
+        )
+
+    def points_per_curve(self) -> int:
+        """Simulations one curve costs, before any store dedup.
+
+        Exact in grid mode (the load grid's length). In adaptive mode
+        it is an *estimate* of the knee search: one plateau probe, one
+        analytic-seed probe, and roughly ``log2(range / resolution)``
+        bracket/bisection steps — the number ``--dry-run`` (and the
+        fabric's scatter report) quote per curve.
+        """
+        if self.mode == "grid":
+            return len(self.load_fractions or self.fidelity.load_fractions)
+        max_fraction = max(self.load_fractions or self.fidelity.load_fractions)
+        span = max(2.0, max_fraction / self.resolution)
+        return 2 + math.ceil(math.log2(span))
+
+    def estimated_sims(self) -> int:
+        """Estimated simulation count before store dedup.
+
+        ``n_curves * points_per_curve``: exact for grid mode (equal to
+        :meth:`n_points`), a knee-search estimate for adaptive mode.
+        """
+        return len(self.curves()) * self.points_per_curve()
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:

@@ -67,20 +67,24 @@ def _fidelity(name: str):
 
 
 def _make_session(
-    workers: int, store_path: Optional[str], store_backend: str = "auto"
+    workers: int,
+    store_path: Optional[str],
+    store_backend: str = "auto",
+    fabric: Optional[str] = None,
 ) -> Session:
     """Build the command's :class:`Session`.
 
     ``--store`` also becomes the process-wide default store so legacy
     ``peak_result``-style paths persist their points too; without it
-    the session shares the existing default store.
+    the session shares the existing default store. ``--fabric`` swaps
+    the local worker pool for a distributed-fabric connection.
     """
     if store_path:
         return open_session(
             store_path, backend=store_backend, workers=workers,
-            make_default=True,
+            fabric=fabric, make_default=True,
         )
-    return Session(default_store(), workers=workers)
+    return Session(default_store(), workers=workers, fabric=fabric)
 
 
 def _call_exhibit(name: str, fidelity, seed: int, session=None) -> str:
@@ -120,9 +124,16 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         # "memory" is excluded: pairing it with --store would silently
         # drop persistence, and without --store "auto" is memory anyway.
         choices=[n for n in backend_names() if n != "memory"],
-        help="store layout: one monolithic JSONL file, or one shard per "
-        "(arch, bandwidth set) under a directory (default: auto — a "
+        help="store layout: one monolithic JSONL file, one shard per "
+        "(arch, bandwidth set) under a directory, or 'remote' (--store "
+        "is then a fabric coordinator host:port) (default: auto — a "
         "directory path selects sharded)",
+    )
+    parser.add_argument(
+        "--fabric", default=None, metavar="HOST:PORT",
+        help="submit cache misses to a distributed fabric coordinator "
+        "('fabric serve') instead of a local worker pool; results are "
+        "bitwise-identical (see docs/fabric.md)",
     )
 
 
@@ -168,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     # so pairing these flags with --spec is an error, not a silent no-op.
     run.add_argument("--fidelity", type=_fidelity, default=None)
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--dry-run", action="store_true",
+        help="with --spec: print per-curve point counts and how many "
+        "points the store is missing, then exit without simulating",
+    )
     _add_parallel_options(run)
 
     everything = sub.add_parser("all", help="regenerate every exhibit")
@@ -208,6 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
         "to (default: 0.05)",
     )
     _add_parallel_options(sweep)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="distributed sweep fabric: host a coordinator or join as a "
+        "worker (see docs/fabric.md)",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    serve = fabric_sub.add_parser(
+        "serve",
+        help="host the coordinator: work queue, retries and the "
+        "authoritative result store",
+    )
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="bind address (default: all interfaces)")
+    serve.add_argument("--port", type=int, default=7023,
+                       help="bind port (default: 7023; 0 picks a free one)")
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent store served to the fabric (directory = sharded); "
+        "omitting it keeps results in coordinator memory only",
+    )
+    serve.add_argument(
+        "--store-backend", default="auto",
+        choices=[n for n in backend_names() if n not in ("memory", "remote")],
+    )
+    serve.add_argument(
+        "--lease-size", type=int, default=2, metavar="N",
+        help="points leased to a worker per request (default: 2)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="lease attempts per point before it is surfaced as a "
+        "point-level failure (default: 3)",
+    )
+    serve.add_argument(
+        "--worker-timeout", type=float, default=20.0, metavar="SECONDS",
+        help="heartbeat silence after which a worker's leases are "
+        "re-queued (default: 20)",
+    )
+
+    worker = fabric_sub.add_parser(
+        "worker", help="join a coordinator and simulate leased points"
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address ('fabric serve' prints it)",
+    )
+    worker.add_argument(
+        "--fail-after", type=int, default=None, metavar="N",
+        help="chaos hook for fault-tolerance tests: hard-exit after "
+        "streaming N results while still holding a lease",
+    )
 
     store = sub.add_parser(
         "store", help="inspect or compact a persistent result store"
@@ -410,9 +479,23 @@ def _print_gain_notes(spec, summaries, with_scenario: bool) -> None:
 
 def _execute_spec(spec: ExperimentSpec, session: Session) -> int:
     """Dispatch a spec to the matching renderer (grid vs adaptive)."""
-    if spec.mode == "adaptive":
-        return _print_adaptive(spec, session)
-    return _print_replication(spec, session)
+    from repro.fabric.errors import FabricError
+
+    from repro.experiments.sweep import FabricExecutor
+
+    if isinstance(session.executor, FabricExecutor):
+        # Reuse the dry-run counters to say what is about to scatter.
+        report = session.dry_run(spec)
+        summary = report.describe().splitlines()[0]
+        print(f"fabric {session.executor.address}: "
+              f"{summary.split(': ', 1)[1]}")
+    try:
+        if spec.mode == "adaptive":
+            return _print_adaptive(spec, session)
+        return _print_replication(spec, session)
+    except FabricError as exc:
+        print(f"dhetpnoc-repro: fabric error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _run_sweep(args) -> int:
@@ -425,7 +508,8 @@ def _run_sweep(args) -> int:
     except ValueError as exc:  # e.g. duplicate axis values
         print(f"dhetpnoc-repro sweep: error: {exc}", file=sys.stderr)
         return 2
-    session = _make_session(args.workers, args.store, args.store_backend)
+    session = _make_session(args.workers, args.store, args.store_backend,
+                            getattr(args, "fabric", None))
     return _execute_spec(spec, session)
 
 
@@ -439,8 +523,54 @@ def _run_spec_file(args) -> int:
         print(f"dhetpnoc-repro run: error: bad spec {args.spec!r}: {exc}",
               file=sys.stderr)
         return 2
-    session = _make_session(args.workers, args.store, args.store_backend)
+    session = _make_session(args.workers, args.store, args.store_backend,
+                            getattr(args, "fabric", None))
+    if args.dry_run:
+        print(session.dry_run(spec).describe())
+        return 0
     return _execute_spec(spec, session)
+
+
+def _run_fabric(args) -> int:
+    """``fabric serve`` / ``fabric worker``: the distributed sweep fabric."""
+    import logging
+
+    from repro.fabric.errors import FabricError
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(message)s"
+    )
+    if args.fabric_command == "serve":
+        from repro.experiments.store import open_store
+        from repro.fabric.coordinator import Coordinator
+
+        store = open_store(args.store, args.store_backend)
+        coordinator = Coordinator(
+            store=store,
+            host=args.host,
+            port=args.port,
+            lease_size=args.lease_size,
+            max_attempts=args.max_attempts,
+            worker_timeout_s=args.worker_timeout,
+        )
+        host, port = coordinator.start()
+        where = store.path if args.store else "coordinator memory"
+        print(f"fabric coordinator listening on {host}:{port} "
+              f"(store: {where})", flush=True)
+        coordinator.serve_forever()
+        return 0
+
+    # fabric worker
+    from repro.fabric.worker import Worker
+
+    worker = Worker(args.connect, fail_after=args.fail_after)
+    try:
+        completed = worker.run()
+    except (FabricError, OSError) as exc:
+        print(f"dhetpnoc-repro fabric worker: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker done: {completed} point(s) simulated")
+    return 0
 
 
 def _run_store(args) -> int:
@@ -605,7 +735,8 @@ def _run_scenarios(args) -> int:
     except ValueError as exc:
         print(f"dhetpnoc-repro scenarios: error: {exc}", file=sys.stderr)
         return 2
-    session = _make_session(args.workers, args.store, args.store_backend)
+    session = _make_session(args.workers, args.store, args.store_backend,
+                            getattr(args, "fabric", None))
     return _execute_spec(spec, session)
 
 
@@ -632,13 +763,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 return 2
             return _run_spec_file(args)
+        if args.dry_run:
+            print(
+                "dhetpnoc-repro run: error: --dry-run needs --spec (named "
+                "exhibits decide their own points)",
+                file=sys.stderr,
+            )
+            return 2
         fidelity = args.fidelity if args.fidelity is not None else QUICK_FIDELITY
         seed = args.seed if args.seed is not None else 1
-        session = _make_session(args.workers, args.store, args.store_backend)
+        session = _make_session(args.workers, args.store, args.store_backend,
+                                getattr(args, "fabric", None))
         print(_call_exhibit(args.exhibit, fidelity, seed, session))
         return 0
     if args.command == "all":
-        session = _make_session(args.workers, args.store, args.store_backend)
+        session = _make_session(args.workers, args.store, args.store_backend,
+                                getattr(args, "fabric", None))
         for name in sorted(ALL_EXHIBITS):
             print(_call_exhibit(name, args.fidelity, args.seed, session))
             print()
@@ -646,7 +786,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         from repro.experiments.validation import render_validation, validate_all
 
-        session = _make_session(args.workers, args.store, args.store_backend)
+        session = _make_session(args.workers, args.store, args.store_backend,
+                                getattr(args, "fabric", None))
         results = validate_all(
             args.fidelity, args.seed, session=session, seeds=args.seeds
         )
@@ -654,6 +795,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(r.passed for r in results) else 1
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "fabric":
+        return _run_fabric(args)
     if args.command == "store":
         return _run_store(args)
     if args.command == "scenarios":

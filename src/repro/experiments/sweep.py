@@ -239,31 +239,30 @@ def _execute_point(payload: Tuple[RunPoint, Fidelity, Optional[SystemConfig]]) -
     )
 
 
-class SweepExecutor:
-    """Run sweep points through the store, fanning misses out to workers.
+class PointExecutor:
+    """Store-aware executor base shared by local and distributed sweeps.
 
-    Results come back in point order regardless of worker scheduling.
-    The store is consulted and written only from the coordinating
-    process, so a single JSONL file stays consistent under any worker
-    count; workers receive pickled points and return pickled results.
+    Subclasses differ **only** in how cache-missing points get
+    simulated (:meth:`_execute`): :class:`SweepExecutor` fans them out
+    to a local ``multiprocessing`` pool, :class:`FabricExecutor`
+    submits them to a fabric coordinator. Everything that defines
+    *which* simulations a sweep performs — content-hash keys, config
+    fingerprints, scenario digests, in-batch dedup, store
+    consultation, ordered reassembly — lives here, once, which is what
+    makes serial == parallel == distributed hold bitwise: every
+    executor computes identical keys for identical points and only the
+    transport of the miss set differs.
 
-    The worker pool is created lazily on the first parallel batch and
-    **kept alive across batches**: many-small-batch callers (the figure
-    functions fetch one curve at a time) no longer pay process startup
-    per batch. Call :meth:`close` — or use the executor as a context
-    manager — to release the pool deterministically; a dropped executor
-    closes it on garbage collection.
+    Results come back in point order regardless of scheduling. The
+    store is consulted and written only from the coordinating process,
+    so a single JSONL file stays consistent under any worker count.
     """
 
     def __init__(
         self,
-        workers: int = 1,
         store: Optional[ResultStore] = None,
         config: Optional[SystemConfig] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("need at least one worker")
-        self.workers = workers
         self.store = store if store is not None else ResultStore()
         self.config = config
         #: Number of points actually simulated by the last ``run*`` call
@@ -276,35 +275,24 @@ class SweepExecutor:
         # Scenario fingerprints are a schedule build + hash; memoize per
         # (name, total_cycles) since every point of a grid repeats them.
         self._scenario_digests: Dict[Tuple[str, int], str] = {}
-        self._pool: Optional[multiprocessing.pool.Pool] = None
 
-    # -- worker-pool lifecycle ---------------------------------------------
-    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(self.workers)
-        return self._pool
-
+    # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Release the persistent worker pool (safe to call repeatedly).
+        """Release transport resources (idempotent; base has none)."""
 
-        The executor stays usable: the next parallel batch lazily
-        spawns a fresh pool.
-        """
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
-
-    def __enter__(self) -> "SweepExecutor":
+    def __enter__(self) -> "PointExecutor":
         return self
 
     def __exit__(self, *_exc) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # May run during interpreter shutdown, when module globals the
+        # cleanup path needs are already torn down — never let that
+        # escape as a spurious error or warning.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     def _config_for(self, bw_set_index: int) -> SystemConfig:
@@ -370,20 +358,11 @@ class SweepExecutor:
                 continue
             batch_seen.add(k)
             missing.append((i, p))
-        self.executed_count = len(missing)
+        self.executed_count = 0
         fresh: Dict[int, RunResult] = {}
         if missing:
-            payloads = [
-                (p, fidelity, self._config_for(p.bw_set_index)) for _i, p in missing
-            ]
-            if self.workers > 1 and len(missing) > 1:
-                outcomes = self._ensure_pool().map(
-                    _execute_point, payloads, chunksize=1
-                )
-            else:
-                outcomes = [_execute_point(p) for p in payloads]
-            for (i, _p), result in zip(missing, outcomes):
-                fresh[i] = result
+            fresh = self._execute(missing, keys, fidelity)
+            for i, result in fresh.items():
                 self.store.put(keys[i], result)
         return [
             fresh[i]
@@ -391,6 +370,21 @@ class SweepExecutor:
             else self.store.get(keys[i], (p.arch, p.bw_set_index))
             for i, p in enumerate(points)
         ]
+
+    def _execute(
+        self,
+        missing: List[Tuple[int, RunPoint]],
+        keys: List[str],
+        fidelity: Fidelity,
+    ) -> Dict[int, RunResult]:
+        """Simulate the cache-missing ``(index, point)`` pairs.
+
+        Returns ``{index: result}`` for every miss and updates
+        :attr:`executed_count` with the number of points actually
+        simulated (a fabric coordinator may answer some misses from
+        *its* store, so the two can differ).
+        """
+        raise NotImplementedError
 
     def run(self, spec: SweepSpec) -> List[RunResult]:
         """Expand and execute a whole :class:`SweepSpec`."""
@@ -429,6 +423,201 @@ class SweepExecutor:
         for point, result in zip(points, results):
             curves.setdefault(point.curve, []).append(result)
         return {curve: peak_of(rs) for curve, rs in curves.items()}
+
+
+class SweepExecutor(PointExecutor):
+    """Run sweep points locally, fanning misses out to a process pool.
+
+    The worker pool is created lazily on the first parallel batch and
+    **kept alive across batches**: many-small-batch callers (the figure
+    functions fetch one curve at a time) no longer pay process startup
+    per batch. Call :meth:`close` — or use the executor as a context
+    manager — to release the pool deterministically; a dropped executor
+    closes it on garbage collection.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        super().__init__(store=store, config=config)
+        self.workers = workers
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # -- worker-pool lifecycle ---------------------------------------------
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (safe to call repeatedly).
+
+        The executor stays usable: the next parallel batch lazily
+        spawns a fresh pool. Also safe from ``__del__`` during
+        interpreter shutdown, where pool teardown can raise as its
+        machinery is dismantled under us — a leaked-pool warning is
+        the one thing this must never produce.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.terminate()
+            pool.join()
+        except BaseException:  # pragma: no cover - shutdown-order timing
+            pass
+
+    def _execute(
+        self,
+        missing: List[Tuple[int, RunPoint]],
+        keys: List[str],
+        fidelity: Fidelity,
+    ) -> Dict[int, RunResult]:
+        payloads = [
+            (p, fidelity, self._config_for(p.bw_set_index)) for _i, p in missing
+        ]
+        if self.workers > 1 and len(missing) > 1:
+            outcomes = self._ensure_pool().map(
+                _execute_point, payloads, chunksize=1
+            )
+        else:
+            outcomes = [_execute_point(p) for p in payloads]
+        self.executed_count = len(missing)
+        return {i: result for (i, _p), result in zip(missing, outcomes)}
+
+
+class FabricExecutor(PointExecutor):
+    """Run sweep points through a distributed fabric coordinator.
+
+    A drop-in :class:`PointExecutor` sibling of :class:`SweepExecutor`:
+    cache-missing points are submitted to a coordinator
+    (``dhetpnoc-repro fabric serve``) that leases them to remote
+    workers and answers from its own store when another client already
+    paid for the simulation. Keys, configs and scenario digests come
+    from the shared base class, so the results — and the store they
+    resume from — are bitwise-identical to a local run.
+
+    The connection is opened lazily on the first batch and kept for
+    the executor's lifetime (adaptive sweeps submit many small jobs).
+    Points the coordinator gives up on after bounded retries surface
+    as :class:`~repro.fabric.errors.PointFailedError` — never a hang.
+
+    Args:
+        connect: Coordinator address (``"host:port"`` or tuple).
+        store: Local store consulted *before* the fabric; fabric
+            results are written back to it, so it doubles as a local
+            cache of the shared store.
+        config: Explicit :class:`SystemConfig` (as for the local
+            executor); shipped with every batch so remote workers
+            simulate exactly this configuration.
+        transport: Fabric transport registry name (default ``tcp``).
+        connect_timeout: Seconds to wait for the coordinator.
+    """
+
+    def __init__(
+        self,
+        connect,
+        store: Optional[ResultStore] = None,
+        config: Optional[SystemConfig] = None,
+        *,
+        transport: str = "tcp",
+        connect_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(store=store, config=config)
+        self.address = connect
+        self._transport_name = transport
+        self._connect_timeout = connect_timeout
+        self._client = None
+        # Built scenario scripts shipped with work items, memoized per
+        # (name, total_cycles) like the digests they must match.
+        self._scenario_scripts: Dict[Tuple[str, int], dict] = {}
+
+    def _ensure_client(self):
+        if self._client is None:
+            from repro.fabric.client import FabricClient
+
+            self._client = FabricClient(
+                self.address,
+                transport=self._transport_name,
+                connect_timeout=self._connect_timeout,
+            )
+        return self._client
+
+    def close(self) -> None:
+        """Drop the coordinator connection (safe to call repeatedly)."""
+        client, self._client = self._client, None
+        if client is None:
+            return
+        try:
+            client.close()
+        except BaseException:  # pragma: no cover - shutdown-order timing
+            pass
+
+    def _scenario_script(self, scenario: str, fidelity: Fidelity) -> dict:
+        cache_key = (scenario, fidelity.total_cycles)
+        script = self._scenario_scripts.get(cache_key)
+        if script is None:
+            from repro.scenarios.library import build_scenario
+
+            script = build_scenario(scenario, fidelity.total_cycles).to_dict()
+            self._scenario_scripts[cache_key] = script
+        return script
+
+    def _execute(
+        self,
+        missing: List[Tuple[int, RunPoint]],
+        keys: List[str],
+        fidelity: Fidelity,
+    ) -> Dict[int, RunResult]:
+        from repro.fabric.errors import PointFailedError
+        from repro.fabric.protocol import (
+            config_to_dict,
+            fidelity_to_dict,
+            point_to_dict,
+        )
+
+        client = self._ensure_client()
+        fidelity_dict = fidelity_to_dict(fidelity)
+        # One submitted job per effective config: a batch can span
+        # bandwidth sets, whose default configs differ, and the wire
+        # format ships one config per job so workers reproduce
+        # _execute_point's inputs exactly.
+        groups: Dict[str, List[Tuple[int, RunPoint]]] = {}
+        for i, p in missing:
+            _config, digest = self._config_entry(p.bw_set_index)
+            groups.setdefault(digest, []).append((i, p))
+        fresh: Dict[int, RunResult] = {}
+        failures = []
+        executed = 0
+        for group in groups.values():
+            entries = []
+            for i, p in group:
+                entry = {"key": keys[i], "point": point_to_dict(p)}
+                if p.scenario is not None:
+                    entry["script"] = self._scenario_script(
+                        p.scenario, fidelity
+                    )
+                entries.append(entry)
+            outcome = client.submit(
+                entries,
+                fidelity_dict,
+                config_to_dict(self._config_for(group[0][1].bw_set_index)),
+            )
+            executed += outcome.executed
+            failures.extend(outcome.failures)
+            for i, _p in group:
+                result = outcome.results.get(keys[i])
+                if result is not None:
+                    fresh[i] = result
+        self.executed_count = executed
+        if failures:
+            raise PointFailedError(failures)
+        return fresh
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""The fabric client: submit point batches, collect streamed results.
+
+:class:`FabricClient` is the thin connection object behind
+:class:`~repro.experiments.sweep.FabricExecutor`. It holds one
+persistent connection to the coordinator (adaptive sweeps submit many
+small jobs; paying a TCP handshake per batch would dominate dispatch
+cost) and exposes exactly one blocking operation: :meth:`submit` a
+batch of unique ``(key, point)`` entries, then collect ``point_done``
+/ ``point_failed`` frames until the coordinator's ``job_done``.
+
+The client never decides *how* points run — store hits, leasing,
+retries and failure budgets all live coordinator-side — it only maps
+the streamed outcome back into :class:`RunResult` objects and
+:class:`~repro.fabric.errors.PointFailure` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import RunResult
+from repro.experiments.store import result_from_dict
+from repro.fabric.errors import FabricError, PointFailure, ProtocolError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    expect,
+    recv_message,
+    send_message,
+)
+from repro.fabric.transport import Address, make_transport, parse_address
+
+__all__ = ["FabricClient", "JobOutcome"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What came back for one submitted batch."""
+
+    #: Completed results, keyed by store key (hits and fresh alike).
+    results: Dict[str, RunResult]
+    #: Points simulated fresh for this job (the rest were store hits).
+    executed: int
+    #: Points answered from the coordinator's store.
+    hits: int
+    #: Points given up on after bounded retries.
+    failures: Tuple[PointFailure, ...]
+
+
+class FabricClient:
+    """One client connection to a fabric coordinator.
+
+    Not thread-safe: one in-flight job per connection by design (the
+    executor that owns it is synchronous). Use one client per thread.
+    """
+
+    def __init__(
+        self,
+        connect: Address,
+        *,
+        transport: str = "tcp",
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.address = parse_address(connect)
+        try:
+            self._conn = make_transport(transport).connect(
+                self.address, timeout=connect_timeout
+            )
+        except OSError as exc:
+            host, port = self.address
+            raise FabricError(
+                f"cannot reach a fabric coordinator at {host}:{port}: {exc}"
+            )
+        send_message(self._conn, {
+            "type": "hello", "role": "client", "version": PROTOCOL_VERSION,
+        })
+        expect(recv_message(self._conn), "welcome")
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        self._conn.close()
+
+    def __enter__(self) -> "FabricClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Fetch the coordinator's point-in-time counters."""
+        send_message(self._conn, {"type": "stats"})
+        return expect(recv_message(self._conn), "stats_reply")["stats"]
+
+    def submit(
+        self,
+        entries: List[dict],
+        fidelity: dict,
+        config: Optional[dict],
+    ) -> JobOutcome:
+        """Run one batch through the fabric; block until it resolves.
+
+        *entries* are ``{"key", "point", "script"?}`` dicts with unique
+        keys (the executor dedups duplicates before submitting);
+        *fidelity*/*config* are the protocol dict forms shared by every
+        point of the batch. Every key comes back exactly once — as a
+        result or as a failure — or :class:`ProtocolError` is raised if
+        the coordinator vanishes first.
+        """
+        labels = {e["key"]: _label(e["point"]) for e in entries}
+        send_message(self._conn, {
+            "type": "submit",
+            "fidelity": fidelity,
+            "config": config,
+            "points": entries,
+        })
+        results: Dict[str, RunResult] = {}
+        failures: List[PointFailure] = []
+        executed = hits = 0
+        while True:
+            message = recv_message(self._conn)
+            if message is None:
+                raise ProtocolError(
+                    "coordinator closed the connection mid-job"
+                )
+            kind = message.get("type")
+            if kind == "point_done":
+                key = message["key"]
+                results[key] = result_from_dict(message["result"])
+            elif kind == "point_failed":
+                key = message["key"]
+                failures.append(PointFailure(
+                    key=key,
+                    label=labels.get(key, key),
+                    error=str(message.get("error", "unknown")),
+                    attempts=int(message.get("attempts", 0)),
+                ))
+            elif kind == "job_done":
+                executed = int(message.get("executed", 0))
+                hits = int(message.get("hits", 0))
+                break
+            elif kind == "error":
+                raise ProtocolError(
+                    f"coordinator reported: {message.get('error')}"
+                )
+            else:
+                raise ProtocolError(f"unexpected job frame {kind!r}")
+        return JobOutcome(
+            results=results,
+            executed=executed,
+            hits=hits,
+            failures=tuple(failures),
+        )
+
+
+def _label(point: dict) -> str:
+    label = (
+        f"{point.get('arch')}/set{point.get('bw_set_index')}/"
+        f"{point.get('pattern')}@{point.get('offered_gbps'):.0f}Gb/s"
+    )
+    if point.get("scenario"):
+        label += f"/{point['scenario']}"
+    return label

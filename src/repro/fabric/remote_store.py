@@ -1,0 +1,160 @@
+"""``RemoteBackend``: a :class:`StoreBackend` proxied over the fabric.
+
+The coordinator hosts a store server over its own (typically sharded)
+:class:`~repro.experiments.store.ResultStore`; this backend speaks the
+``store_*`` RPCs against it, so any machine can resume from — and
+contribute to — the same content-hash store:
+
+::
+
+    store = open_store("127.0.0.1:7023", backend="remote")
+    session = open_session("127.0.0.1:7023", backend="remote")
+
+Every operation is one request/reply exchange over a single persistent
+connection (``scan`` streams ``store_record`` frames closed by a
+``store_scan_end``). A lock serialises the exchanges, making the
+backend thread-safe the same way the file backends are process-local:
+safe for the one-writer-per-connection pattern the executors use.
+
+Durability semantics match the contract: :meth:`put` returns after the
+coordinator acknowledged the write into its backend (which appends and
+flushes per fresh key), so a worker crash after an acknowledged put
+never loses the record. ``coords`` locality hints are forwarded so the
+coordinator's sharded backend only touches the relevant shard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.experiments.runner import RunResult
+from repro.experiments.store import (
+    CompactionStats,
+    ShardCoords,
+    StoreBackend,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.fabric.errors import FabricError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    expect,
+    recv_message,
+    send_message,
+)
+from repro.fabric.transport import Address, make_transport, parse_address
+
+__all__ = ["RemoteBackend"]
+
+
+class RemoteBackend(StoreBackend):
+    """Store backend proxying every operation to a fabric coordinator.
+
+    Args:
+        address: The coordinator's ``host:port``.
+        transport: Transport registry name (default ``tcp``).
+        connect_timeout: Seconds to wait for the coordinator.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        *,
+        transport: str = "tcp",
+        connect_timeout: float = 10.0,
+    ) -> None:
+        import threading
+
+        host, port = parse_address(address)
+        #: Mirrors the file backends' ``path`` attribute so store
+        #: tooling can print *where* a store lives.
+        self.path = f"{host}:{port}"
+        self._lock = threading.Lock()
+        try:
+            self._conn = make_transport(transport).connect(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise FabricError(
+                f"cannot reach a fabric coordinator at {self.path}: {exc}"
+            )
+        send_message(self._conn, {
+            "type": "hello", "role": "store", "version": PROTOCOL_VERSION,
+        })
+        expect(recv_message(self._conn), "welcome")
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, message: dict, reply_type: str = "store_reply") -> dict:
+        with self._lock:
+            send_message(self._conn, message)
+            return expect(recv_message(self._conn), reply_type)
+
+    @staticmethod
+    def _coords(coords: Optional[ShardCoords]):
+        return None if coords is None else [coords[0], coords[1]]
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; records are server-side)."""
+        self._conn.close()
+
+    # -- StoreBackend contract -----------------------------------------------
+    def get(
+        self, key: str, coords: Optional[ShardCoords] = None
+    ) -> Optional[RunResult]:
+        reply = self._request({
+            "type": "store_get", "key": key, "coords": self._coords(coords),
+        })
+        data = reply.get("result")
+        return None if data is None else result_from_dict(data)
+
+    def contains(
+        self, key: str, coords: Optional[ShardCoords] = None
+    ) -> bool:
+        reply = self._request({
+            "type": "store_contains",
+            "key": key,
+            "coords": self._coords(coords),
+        })
+        return bool(reply.get("value"))
+
+    def put(self, key: str, result: RunResult) -> None:
+        self._request({
+            "type": "store_put", "key": key,
+            "result": result_to_dict(result),
+        })
+
+    def scan(
+        self, coords: Optional[ShardCoords] = None
+    ) -> Iterator[Tuple[str, RunResult]]:
+        # Collect under the lock (frames must not interleave with other
+        # ops), then yield outside it so consumers can nest requests.
+        records = []
+        with self._lock:
+            send_message(self._conn, {
+                "type": "store_scan", "coords": self._coords(coords),
+            })
+            while True:
+                message = recv_message(self._conn)
+                if message is None:
+                    raise FabricError("coordinator vanished mid-scan")
+                if message.get("type") == "store_scan_end":
+                    break
+                record = expect(message, "store_record")
+                records.append(
+                    (record["key"], result_from_dict(record["result"]))
+                )
+        yield from records
+
+    def flush(self) -> None:
+        self._request({"type": "store_flush"})
+
+    def compact(self) -> CompactionStats:
+        reply = self._request({"type": "store_compact"})
+        return CompactionStats(**reply.get("stats", {}))
+
+    def clear(self) -> None:
+        """No local view to drop; records live on the coordinator."""
+
+    def __len__(self) -> int:
+        reply = self._request({"type": "store_len"})
+        return int(reply.get("value", 0))

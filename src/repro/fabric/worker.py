@@ -1,0 +1,258 @@
+"""The fabric worker: lease points, simulate them, stream results.
+
+A :class:`Worker` opens one connection to the coordinator, registers
+with capability info (hostname, pid, core count, interpreter), then
+loops: request a lease, simulate each leased point through the exact
+same entry the multiprocessing pool uses
+(:func:`repro.experiments.sweep._execute_point`), and stream one
+``result`` frame back per point. A background thread heartbeats every
+``heartbeat_s`` (the coordinator's welcome frame sets the cadence) so
+a worker that is deep in a long simulation is still visibly alive.
+
+Scenario points ship the built schedule's JSON alongside the name.
+Builtin scenario names are rebuilt locally and *verified* against the
+shipped fingerprint; names unknown to this worker (file-loaded or
+combinator scenarios registered only on the client) are registered
+from the shipped schedule. Either way the worker simulates exactly the
+schedule the client fingerprinted into the store key — a mismatch is a
+loud per-point failure, never a silently different simulation.
+
+Chaos hook: ``fail_after=N`` makes the worker hard-exit
+(``os._exit``) after streaming *N* results while still holding a
+lease — the deterministic stand-in for "machine died mid-sweep" that
+the kill-a-worker tests use (``fail_after=0`` dies after leasing,
+before simulating anything).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import platform
+import socket as _socket
+import sys
+import threading
+from typing import Optional
+
+from repro.experiments.store import result_to_dict
+from repro.experiments.sweep import _execute_point
+from repro.fabric.errors import FabricError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    config_from_dict,
+    expect,
+    fidelity_from_dict,
+    point_from_dict,
+    recv_message,
+    send_message,
+)
+from repro.fabric.transport import Address, make_transport
+
+__all__ = ["Worker", "default_capabilities"]
+
+log = logging.getLogger("repro.fabric")
+
+
+def default_capabilities() -> dict:
+    """Capability info sent in the worker's ``hello`` frame."""
+    return {
+        "hostname": _socket.gethostname(),
+        "pid": os.getpid(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+class Worker:
+    """One fabric worker process (or thread, in tests).
+
+    Args:
+        connect: Coordinator address (``"host:port"`` or tuple).
+        transport: Transport registry name (default ``tcp``).
+        capabilities: Extra capability keys merged over
+            :func:`default_capabilities`.
+        fail_after: Chaos hook — hard-exit after this many streamed
+            results (see module docstring). ``None`` disables it.
+        connect_timeout: Seconds to wait for the coordinator.
+    """
+
+    def __init__(
+        self,
+        connect: Address,
+        *,
+        transport: str = "tcp",
+        capabilities: Optional[dict] = None,
+        fail_after: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._address = connect
+        self._transport = make_transport(transport)
+        self._capabilities = default_capabilities()
+        if capabilities:
+            self._capabilities.update(capabilities)
+        self._fail_after = fail_after
+        self._connect_timeout = connect_timeout
+        self._conn = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._completed = 0
+        self.worker_id: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the run loop to exit (used by in-thread test workers)."""
+        self._stop.set()
+        if self._conn is not None:
+            self._conn.close()
+
+    def run(self) -> int:
+        """Connect, register, and process leases until told to stop.
+
+        Returns the number of points simulated (0 is normal for a
+        worker that joined after the queue drained).
+        """
+        conn = self._transport.connect(
+            self._address, timeout=self._connect_timeout
+        )
+        self._conn = conn
+        try:
+            self._send({
+                "type": "hello",
+                "role": "worker",
+                "version": PROTOCOL_VERSION,
+                "capabilities": self._capabilities,
+            })
+            welcome = expect(recv_message(conn), "welcome")
+            self.worker_id = welcome.get("worker_id")
+            heartbeat_s = float(welcome.get("heartbeat_s", 2.0))
+            log.info(
+                "registered as worker %s (heartbeat %.1fs)",
+                self.worker_id, heartbeat_s,
+            )
+            beat = threading.Thread(
+                target=self._heartbeat_loop, args=(heartbeat_s,),
+                name="fabric-heartbeat", daemon=True,
+            )
+            beat.start()
+            self._lease_loop()
+        finally:
+            self._stop.set()
+            try:
+                self._send({"type": "goodbye"})
+            except Exception:
+                pass
+            conn.close()
+        return self._completed
+
+    # -- internals -----------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        with self._send_lock:
+            send_message(self._conn, message)
+
+    def _heartbeat_loop(self, heartbeat_s: float) -> None:
+        while not self._stop.wait(heartbeat_s):
+            try:
+                self._send({"type": "heartbeat"})
+            except Exception:
+                return  # connection gone; the main loop notices too
+
+    def _lease_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._send({"type": "lease"})
+                message = recv_message(self._conn)
+            except OSError:
+                return
+            if message is None:
+                return
+            kind = message["type"]
+            if kind == "shutdown":
+                return
+            if kind == "wait":
+                if self._stop.wait(float(message.get("delay", 0.2))):
+                    return
+                continue
+            if kind != "work":
+                raise FabricError(f"unexpected coordinator frame {kind!r}")
+            self._process_lease(message)
+
+    def _process_lease(self, message: dict) -> None:
+        lease_id = message.get("lease_id")
+        for item in message.get("items", ()):
+            if (
+                self._fail_after is not None
+                and self._completed >= self._fail_after
+            ):
+                # Chaos hook: die *while holding the lease*, without
+                # unwinding — indistinguishable from a machine loss.
+                log.warning(
+                    "fail_after=%d reached; hard-exiting", self._fail_after
+                )
+                os._exit(17)
+            key = item["key"]
+            try:
+                result = self._execute(item)
+            except Exception as exc:  # simulation bug / bad payload
+                log.warning("point %s failed: %r", key, exc)
+                self._send({
+                    "type": "result_error",
+                    "lease_id": lease_id,
+                    "key": key,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            self._send({
+                "type": "result",
+                "lease_id": lease_id,
+                "key": key,
+                "result": result_to_dict(result),
+            })
+            self._completed += 1
+
+    def _execute(self, item: dict):
+        point = point_from_dict(item["point"])
+        fidelity = fidelity_from_dict(item["fidelity"])
+        config = config_from_dict(item.get("config"))
+        if point.scenario is not None:
+            self._ensure_scenario(
+                point.scenario, item.get("script"), fidelity.total_cycles
+            )
+        return _execute_point((point, fidelity, config))
+
+    @staticmethod
+    def _ensure_scenario(
+        name: str, script: Optional[dict], total_cycles: int
+    ) -> None:
+        """Make the shipped scenario buildable — and *identical* — here.
+
+        Builtin names must rebuild to the same fingerprint the client
+        hashed into the store key; unknown names (client-side file or
+        combinator scenarios) are registered from the shipped schedule.
+        """
+        from repro.scenarios.library import (
+            build_scenario,
+            register_schedule,
+            scenarios,
+        )
+        from repro.scenarios.schedule import ScenarioSchedule
+
+        shipped = (
+            ScenarioSchedule.from_dict(script) if script is not None else None
+        )
+        if name in scenarios.names():
+            if shipped is not None:
+                local = build_scenario(name, total_cycles)
+                if local.fingerprint() != shipped.fingerprint():
+                    raise FabricError(
+                        f"scenario {name!r} differs between client and "
+                        f"worker (fingerprint mismatch); refusing to "
+                        f"simulate a schedule the store key does not hash"
+                    )
+            return
+        if shipped is None:
+            raise FabricError(
+                f"scenario {name!r} is unknown to this worker and the "
+                f"work item shipped no script for it"
+            )
+        register_schedule(shipped)

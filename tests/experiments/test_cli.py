@@ -218,3 +218,90 @@ class TestMain:
         # Resume: the scenario axis is cached like any other.
         assert main(argv) == 0
         assert "0 simulated" in capsys.readouterr().out
+
+
+class TestDryRun:
+    """``run --spec ... --dry-run``: count work, simulate nothing."""
+
+    def _spec_path(self, tmp_path, **overrides) -> str:
+        from repro.api import ExperimentSpec
+
+        fields = dict(
+            archs=("firefly",), bw_sets=(1,), patterns=("uniform",),
+            seeds=(1,),
+            fidelity={"name": "tiny", "total_cycles": 700,
+                      "reset_cycles": 100, "load_fractions": [0.3, 0.8]},
+        )
+        fields.update(overrides)
+        path = str(tmp_path / "spec.json")
+        ExperimentSpec(**fields).save(path)
+        return path
+
+    def test_grid_dry_run_counts_points_and_misses(self, capsys, tmp_path):
+        path = self._spec_path(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", path, "--dry-run", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: 1 curve(s), 2 grid point(s), 2 to simulate (0 cached)" in out
+        assert "firefly/set1/uniform seed 1: 2 point(s), 2 to simulate" in out
+
+        # Execute for real, then dry-run again: everything is cached.
+        assert main(["run", "--spec", path, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", path, "--dry-run", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 to simulate (2 cached)" in out
+
+    def test_adaptive_dry_run_reports_estimates(self, capsys, tmp_path):
+        path = self._spec_path(tmp_path, mode="adaptive")
+        assert main(["run", "--spec", path, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run (adaptive): 1 curve(s)" in out
+        assert "simulation(s) estimated" in out
+        assert "~" in out  # estimates are marked as such per curve
+
+    def test_dry_run_needs_a_spec(self, capsys):
+        assert main(["run", "table-3-1", "--dry-run"]) == 2
+        err = capsys.readouterr().err
+        assert "--dry-run needs --spec" in err
+
+
+class TestFabricCli:
+    """Parser coverage of the fabric surface (behaviour lives in
+    test_fabric.py; the end-to-end CLI path in the CI smoke lane)."""
+
+    def test_fabric_serve_defaults(self):
+        args = build_parser().parse_args(["fabric", "serve"])
+        assert args.fabric_command == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 7023
+        assert args.lease_size == 2
+        assert args.max_attempts == 3
+
+    def test_fabric_worker_parses_connect(self):
+        args = build_parser().parse_args(
+            ["fabric", "worker", "--connect", "10.0.0.2:7023"]
+        )
+        assert args.fabric_command == "worker"
+        assert args.connect == "10.0.0.2:7023"
+        assert args.fail_after is None
+
+    def test_sweep_accepts_fabric_and_remote_backend(self):
+        args = build_parser().parse_args(
+            ["sweep", "--fabric", "127.0.0.1:7023",
+             "--store", "127.0.0.1:7023", "--store-backend", "remote"]
+        )
+        assert args.fabric == "127.0.0.1:7023"
+        assert args.store_backend == "remote"
+
+    def test_unreachable_fabric_fails_cleanly(self, capsys, tmp_path):
+        path = str(tmp_path / "spec.json")
+        from repro.api import ExperimentSpec
+
+        ExperimentSpec(
+            archs=("firefly",), bw_sets=(1,), patterns=("uniform",),
+            seeds=(1,),
+        ).save(path)
+        assert main(["run", "--spec", path, "--fabric", "127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert "fabric error" in err

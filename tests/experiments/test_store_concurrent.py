@@ -1,0 +1,179 @@
+"""Store backends under concurrent writers.
+
+The file backends' durability story for multi-writer setups (several
+fabric workers, or a fabric coordinator plus a local sweep, appending
+to the same store) rests on one property: ``put`` appends **one whole
+line per fresh key** to a file opened in append mode and flushes it.
+POSIX ``O_APPEND`` writes of one buffered line land atomically, so two
+processes interleave *records*, never *bytes within a record*. These
+tests pin that: N-writer appends must all survive a fresh load with
+zero corrupt lines, and a torn line planted by a crashed writer must
+be skipped without taking any neighbouring record down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.experiments.runner import RunResult
+from repro.experiments.store import (
+    JsonlBackend,
+    ResultStore,
+    ShardedJsonlBackend,
+    result_to_dict,
+)
+
+#: Records appended by each concurrent writer process.
+N_RECORDS = 25
+
+
+def _result(arch: str, index: int) -> RunResult:
+    return RunResult(
+        arch=arch,
+        pattern="uniform",
+        bw_set_index=1,
+        offered_gbps=100.0 + index,
+        delivered_gbps=90.0 + index,
+        photonic_gbps=80.0 + index,
+        per_core_gbps=1.5,
+        energy_per_message_pj=11.0,
+        mean_latency_cycles=300.0 + index,
+        acceptance_ratio=0.9,
+        packets_delivered=1000 + index,
+        reservations_nacked=index,
+        laser_power_mw=640.0,
+        lit_wavelengths=64,
+    )
+
+
+#: Child-process body: append N records to the store at argv[1] using
+#: the backend named in argv[2], tagging keys with argv[3].
+_WRITER = textwrap.dedent(
+    """
+    import sys
+
+    from repro.experiments.store import (
+        JsonlBackend, ShardedJsonlBackend, result_from_dict,
+    )
+
+    path, backend_name, tag, payload = sys.argv[1:5]
+    import json
+    records = json.loads(payload)
+    backend = (
+        JsonlBackend(path) if backend_name == "jsonl"
+        else ShardedJsonlBackend(path)
+    )
+    for index, data in enumerate(records):
+        backend.put(f"{tag}-{index}", result_from_dict(data))
+    backend.flush()
+    """
+)
+
+
+def _spawn_writer(path: str, backend_name: str, tag: str, arch: str):
+    payload = json.dumps(
+        [result_to_dict(_result(arch, i)) for i in range(N_RECORDS)]
+    )
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", _WRITER, path, backend_name, tag, payload],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _run_writers(path: str, backend_name: str):
+    writers = [
+        _spawn_writer(path, backend_name, "alpha", "firefly"),
+        _spawn_writer(path, backend_name, "beta", "dhetpnoc"),
+    ]
+    for proc in writers:
+        _out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+
+
+@pytest.mark.parametrize("backend_name", ["jsonl", "sharded"])
+class TestConcurrentWriters:
+    def _path(self, tmp_path, backend_name: str) -> str:
+        if backend_name == "jsonl":
+            return str(tmp_path / "store.jsonl")
+        return str(tmp_path / "shards")
+
+    def _fresh_backend(self, path: str, backend_name: str):
+        if backend_name == "jsonl":
+            return JsonlBackend(path)
+        return ShardedJsonlBackend(path)
+
+    def test_two_processes_interleave_without_corruption(
+        self, tmp_path, backend_name
+    ):
+        path = self._path(tmp_path, backend_name)
+        _run_writers(path, backend_name)
+
+        backend = self._fresh_backend(path, backend_name)
+        records = dict(backend.scan())
+        assert len(records) == 2 * N_RECORDS
+        assert backend.corrupt_lines == 0
+        for index in range(N_RECORDS):
+            assert records[f"alpha-{index}"] == _result("firefly", index)
+            assert records[f"beta-{index}"] == _result("dhetpnoc", index)
+
+    def test_torn_lines_tolerated_alongside_live_writers(
+        self, tmp_path, backend_name
+    ):
+        # Two shapes of damage a crashed writer can leave: a line whose
+        # payload was truncated but whose newline survived (planted
+        # before the live writers — a torn line *without* its newline
+        # would merge with the next append, which is exactly why `put`
+        # writes line+newline in one buffered write), and a trailing
+        # unterminated line (the crash happened last). Every record the
+        # live writers append must survive both.
+        path = self._path(tmp_path, backend_name)
+        seed = self._fresh_backend(path, backend_name)
+        seed.put("seed-0", _result("firefly", 999))
+        seed.flush()
+        if backend_name == "jsonl":
+            torn_file = path
+        else:
+            (torn_file,) = [
+                os.path.join(path, f) for f in os.listdir(path)
+                if f.endswith(".jsonl")
+            ]
+        with open(torn_file, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn-mid", "result": {"arch": "fire\n')
+
+        _run_writers(path, backend_name)
+
+        with open(torn_file, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn-tail", "result": {"arch')  # no newline
+
+        backend = self._fresh_backend(path, backend_name)
+        records = dict(backend.scan())
+        assert backend.corrupt_lines == 2  # both torn lines, nothing else
+        assert records["seed-0"] == _result("firefly", 999)
+        assert len(records) == 2 * N_RECORDS + 1
+        for index in range(N_RECORDS):
+            assert records[f"alpha-{index}"] == _result("firefly", index)
+            assert records[f"beta-{index}"] == _result("dhetpnoc", index)
+        # Compaction scrubs the torn lines for good.
+        stats = backend.compact()
+        assert stats.corrupt_dropped == 2
+        clean = self._fresh_backend(path, backend_name)
+        assert dict(clean.scan()) == records
+        assert clean.corrupt_lines == 0
+
+    def test_store_layer_sees_every_record(self, tmp_path, backend_name):
+        path = self._path(tmp_path, backend_name)
+        _run_writers(path, backend_name)
+        store = ResultStore(backend=self._fresh_backend(path, backend_name))
+        assert len(store) == 2 * N_RECORDS
+        assert store.get("alpha-0", ("firefly", 1)) == _result("firefly", 0)
+        assert store.corrupt_lines == 0

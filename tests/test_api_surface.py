@@ -35,6 +35,7 @@ REPRO_EXPORTS = {
 
 #: The exact exported surface of ``repro.api``.
 REPRO_API_EXPORTS = {
+    "DryRunReport",
     "ExperimentSpec",
     "Registry",
     "RegistryError",
@@ -51,6 +52,7 @@ REGISTRY_TABLES = {
     "patterns",
     "scenarios",
     "store_backends",
+    "transports",
 }
 
 

@@ -162,6 +162,27 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
             reread = ResultStore(path)
             assert len(reread) == 200
 
+    # Distributed-dispatch overhead: a localhost coordinator whose
+    # store already holds every point of the warmed spec, driven over
+    # one persistent FabricExecutor connection. Every pass is pure
+    # protocol — submit, coordinator-store hits, streamed results —
+    # with zero simulations, so the bench isolates what the fabric
+    # *adds* on top of a local cache-hit sweep.
+    from repro.fabric.coordinator import Coordinator
+
+    coordinator = Coordinator(store=warmed.store)
+    coordinator.start()
+    from repro.experiments.sweep import FabricExecutor
+
+    fabric_store = ResultStore()
+    fabric = FabricExecutor(coordinator.address, store=fabric_store)
+
+    def fabric_dispatch() -> None:
+        for _ in range(10):
+            fabric_store.clear()  # force every point over the wire
+            fabric.run(spec)
+        assert fabric.executed_count == 0
+
     return [
         ("run_steady", run_steady),
         ("run_low_load", run_low_load),
@@ -170,6 +191,7 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
         ("sweep_cache_hits", sweep_cache_hits),
         ("schedule_fingerprint", schedule_fingerprint),
         ("store_jsonl_roundtrip", store_jsonl_roundtrip),
+        ("fabric_dispatch", fabric_dispatch),
     ]
 
 

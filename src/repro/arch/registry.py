@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.api.base import Registry
 from repro.arch.dhetpnoc import DHetPNoC
+from repro.arch.electrical_baseline import ElectricalMeshNoC
 from repro.arch.firefly import FireflyNoC
 
 __all__ = ["architectures"]
@@ -42,3 +43,13 @@ def _build_firefly(sim, config, pattern):
 def _build_dhetpnoc(sim, config, pattern):
     """The proposed d-HetPNoC with token-based DBA."""
     return DHetPNoC(sim, config, pattern=pattern)
+
+
+@architectures.register("electrical")
+def _build_electrical(sim, config, pattern):
+    """Chapter-1 electrical mesh baseline (the non-photonic floor).
+
+    Registered so differential scenario checks can run every generated
+    schedule against all three substrates; it never joins a default
+    sweep (CLI/validation grids stay pinned to the thesis pair)."""
+    return ElectricalMeshNoC(sim, config)

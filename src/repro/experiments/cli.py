@@ -343,6 +343,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_axes(scen_sweep)
     _add_parallel_options(scen_sweep)
 
+    fuzz = scen_sub.add_parser(
+        "fuzz",
+        help="generate random schedules and differentially test every "
+        "architecture, flagging DBA-margin inversions as findings",
+    )
+    fuzz.add_argument("--count", type=int, default=5,
+                      help="number of schedules to generate")
+    fuzz.add_argument("--seed", type=int, default=1,
+                      help="base generator seed (schedule i uses seed+i)")
+    fuzz.add_argument("--total-cycles", type=int, default=1500,
+                      help="cycle span each schedule is generated for")
+    fuzz.add_argument("--bw-set", type=int, default=1,
+                      choices=sorted(bandwidth_sets.names()))
+    fuzz.add_argument("--load-fraction", type=float, default=0.6)
+    fuzz.add_argument("--pattern", default="uniform",
+                      help="base pattern for phases that do not rebind")
+    fuzz.add_argument(
+        "--arch", nargs="+", default=["dhetpnoc", "firefly", "electrical"],
+        choices=list(architectures.names()),
+    )
+    fuzz.add_argument("--out", metavar="FINDINGS.json",
+                      help="write every finding (schedule script included)")
+
+    cov = scen_sub.add_parser(
+        "coverage",
+        help="dimension-coverage report (burstiness, hotspot mobility, "
+        "fault density, rule activity) over generated schedules",
+    )
+    cov.add_argument("--count", type=int, default=20,
+                     help="number of schedules to generate")
+    cov.add_argument("--seed", type=int, default=1,
+                     help="base generator seed (schedule i uses seed+i)")
+    cov.add_argument("--total-cycles", type=int, default=1500,
+                     help="cycle span each schedule is generated for")
+    cov.add_argument("--library", action="store_true",
+                     help="also score the built-in library scenarios")
+    cov.add_argument("--out", metavar="REPORT.json",
+                     help="write the report (per-schedule scores included)")
+
     return parser
 
 
@@ -681,6 +720,71 @@ def _run_scenarios(args) -> int:
         print(f"fingerprint: {schedule.fingerprint()}")
         print(f"phases: {len(schedule)}")
         print(json.dumps(schedule.to_dict()["phases"], indent=2))
+        return 0
+
+    if args.scenario_command == "fuzz":
+        from repro.scenarios.differential import run_differential
+
+        if _invalid_patterns([args.pattern], "scenarios fuzz"):
+            return 2
+        findings = run_differential(
+            args.count,
+            base_seed=args.seed,
+            total_cycles=args.total_cycles,
+            bw_set_index=args.bw_set,
+            load_fraction=args.load_fraction,
+            pattern=args.pattern,
+            archs=tuple(args.arch),
+        )
+        rows = [
+            [
+                str(f.seed),
+                f.fingerprint,
+                *(f"{f.delivered_gbps.get(a, 0.0):.1f}" for a in args.arch),
+                f"{f.margin_gbps:+.1f}",
+                "INVERTED" if f.inverted else "",
+            ]
+            for f in findings
+        ]
+        print(ascii_table(
+            ["seed", "fingerprint", *(f"{a} Gb/s" for a in args.arch),
+             "margin", "flag"],
+            rows,
+            title=(f"Differential fuzz ({args.count} schedules, "
+                   f"{args.total_cycles} cycles, set{args.bw_set} at "
+                   f"{args.load_fraction:.0%} load)"),
+        ))
+        inverted = sum(1 for f in findings if f.inverted)
+        print(f"{inverted} of {len(findings)} schedules invert the DBA margin")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump([f.to_dict() for f in findings], fh,
+                          indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"findings written to {args.out} "
+                  f"(shrink with tools/fuzz_triage.py)")
+        return 0
+
+    if args.scenario_command == "coverage":
+        from repro.scenarios.coverage import coverage_report, library_schedules
+        from repro.scenarios.generate import sample_schedule
+
+        schedules = [
+            sample_schedule(args.seed + i, args.total_cycles)
+            for i in range(args.count)
+        ]
+        if args.library:
+            schedules.extend(library_schedules(args.total_cycles))
+        report = coverage_report(schedules, args.total_cycles)
+        print(report.render())
+        spanned = report.spanned_dimensions()
+        suffix = "" if report.spans_all_dimensions() else " (INCOMPLETE)"
+        print(f"spanned dimensions: {', '.join(spanned)}{suffix}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written to {args.out}")
         return 0
 
     if args.scenario_command == "run":

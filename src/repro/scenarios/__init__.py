@@ -11,10 +11,25 @@
   ``register_schedule``/``load_scenario_file``);
 * :mod:`repro.scenarios.player` — the runtime that replays a schedule
   into a simulation, deterministically, evaluating feedback rules
-  against observed state on fixed cycle boundaries.
+  against observed state on fixed cycle boundaries;
+* :mod:`repro.scenarios.generate` — property-based generation of valid
+  random schedules (hypothesis strategies + a seed-deterministic
+  sampler);
+* :mod:`repro.scenarios.coverage` — dimension-coverage reports
+  (burstiness, hotspot mobility, fault density, rule activity) over any
+  schedule set;
+* :mod:`repro.scenarios.differential` — generated schedules run on
+  every architecture, margin inversions flagged as structured findings.
 """
 
 from repro.scenarios.compose import overlay, sequence
+from repro.scenarios.coverage import CoverageReport, coverage_report
+from repro.scenarios.differential import (
+    Finding,
+    differential_point,
+    run_differential,
+)
+from repro.scenarios.generate import sample_schedule, schedules
 from repro.scenarios.library import (
     build_scenario,
     describe_scenario,
@@ -43,8 +58,10 @@ from repro.scenarios.schedule import (
 
 __all__ = [
     "BurstLoad",
+    "CoverageReport",
     "FaultEvent",
     "FeedbackRule",
+    "Finding",
     "LoadModulator",
     "OffsetLoad",
     "Phase",
@@ -58,13 +75,18 @@ __all__ = [
     "SinusoidLoad",
     "StepLoad",
     "build_scenario",
+    "coverage_report",
     "describe_scenario",
+    "differential_point",
     "initial_pattern",
     "load_scenario_file",
     "overlay",
     "register_scenario",
     "register_schedule",
+    "run_differential",
+    "sample_schedule",
     "scenario_catalog",
     "scenario_names",
+    "schedules",
     "sequence",
 ]

@@ -102,10 +102,37 @@ def register_schedule(
     sweep axes, validated by ``ExperimentSpec``, content-fingerprinted
     into store keys.
 
+    Name collisions resolve by *content*: re-registering a schedule
+    whose fingerprint matches the existing registration is an idempotent
+    no-op, while a different script under a taken name raises a
+    :class:`ScenarioError` naming both fingerprints (pass
+    ``override=True`` to replace deliberately). A schedule can therefore
+    never silently shadow — or silently lose to — a same-named script
+    with different content.
+
     Note for parallel sweeps: register before the worker pool spins up
     (the pool inherits the registry on fork) — exactly what the CLI's
     ``scenarios`` commands do.
     """
+    if not override and schedule.name in scenarios:
+        probe_cycles = schedule.phases[-1].start_cycle + 1
+        try:
+            existing = scenarios.get(schedule.name)[1](probe_cycles)
+        except Exception:
+            existing = None
+        existing_fp = (
+            existing.fingerprint()
+            if isinstance(existing, ScenarioSchedule)
+            else None
+        )
+        if existing_fp == schedule.fingerprint():
+            return schedule  # identical content: idempotent
+        raise ScenarioError(
+            f"scenario {schedule.name!r} is already registered with "
+            f"different content (existing fingerprint {existing_fp}, "
+            f"new {schedule.fingerprint()}); pass override=True to "
+            "replace it"
+        )
     scenarios.register(
         schedule.name,
         (description if description is not None else schedule.description,
@@ -126,21 +153,12 @@ def load_scenario_file(
     rule fields are rejected at load time. Re-loading a file whose
     schedule is already registered with an identical content fingerprint
     is a no-op, so specs and scripts can share scenario files freely; a
-    *different* script under a taken name is still a duplicate error.
+    *different* script under a taken name is still rejected — both
+    behaviours are :func:`register_schedule`'s content-aware collision
+    semantics.
     """
     schedule = ScenarioSchedule.load(path)
     if register:
-        if not override and schedule.name in scenarios:
-            probe_cycles = schedule.phases[-1].start_cycle + 1
-            try:
-                existing = scenarios.get(schedule.name)[1](probe_cycles)
-            except Exception:
-                existing = None
-            if (
-                existing is not None
-                and existing.fingerprint() == schedule.fingerprint()
-            ):
-                return schedule
         register_schedule(schedule, override=override)
     return schedule
 

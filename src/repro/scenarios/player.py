@@ -437,6 +437,13 @@ class ScenarioPlayer:
             # Firefly has no DBA plane to break; the blackout still applies.
             self.faults_skipped += 1
             return
+        if event.action == "blackout_receiver" and not hasattr(
+            self.noc, "gateways"
+        ):
+            # No photonic receive plane either (the electrical mesh):
+            # every scripted fault degrades to a counted skip.
+            self.faults_skipped += 1
+            return
         if self._injector is None:
             self._injector = FaultInjector(self.noc)
         try:

@@ -1,7 +1,20 @@
-"""Shared fixtures for the d-HetPNoC reproduction test suite."""
+"""Shared fixtures for the d-HetPNoC reproduction test suite.
+
+Also registers the hypothesis profiles the fuzz suites run under:
+
+* ``ci`` (the default) — derandomized with a small example budget, so
+  tier-1 is deterministic run to run, plus ``print_blob`` so any
+  failure prints the exact blob that reproduces it;
+* ``nightly`` — randomized with a much larger budget, for the nightly
+  lane that actually explores the scenario space.
+
+Select with ``HYPOTHESIS_PROFILE=nightly`` (anything unregistered is an
+error, so a typo cannot silently fuzz with the wrong budget).
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -10,6 +23,29 @@ from repro.arch.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.traffic.bandwidth_sets import BW_SET_1, BW_SET_2, BW_SET_3
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - dev deps always include it
+    pass
+else:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        print_blob=True,
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "nightly",
+        derandomize=False,
+        print_blob=True,
+        max_examples=300,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -19,6 +19,9 @@ import repro.api.spec
 import repro.experiments.store
 import repro.experiments.sweep
 import repro.scenarios.compose
+import repro.scenarios.coverage
+import repro.scenarios.differential
+import repro.scenarios.generate
 import repro.scenarios.library
 import repro.scenarios.player
 import repro.scenarios.schedule
@@ -28,6 +31,9 @@ MODULES = [
     repro.experiments.sweep,
     repro.scenarios.schedule,
     repro.scenarios.compose,
+    repro.scenarios.generate,
+    repro.scenarios.coverage,
+    repro.scenarios.differential,
     repro.scenarios.library,
     repro.scenarios.player,
     repro.api.base,

@@ -199,3 +199,50 @@ class TestComposedThroughTheStack:
             assert first == second
         finally:
             scenarios.unregister(name)
+
+
+class TestCompositionEdgeCases:
+    def test_negative_cut_rejected_like_zero(self):
+        steady = build_scenario("steady", 700)
+        with pytest.raises(ScenarioError, match="after cycle 0"):
+            sequence(steady, steady, -100)
+
+    def test_overlay_over_an_already_composed_base(self):
+        """Composition stacks: overlay applied on top of a sequence()
+        output is still an ordinary, valid, structurally-fingerprinted
+        schedule."""
+        def stacked():
+            base = sequence(build_scenario("diurnal", 700),
+                            build_scenario("load_spike", 700), 700)
+            return overlay(base, build_scenario("bursty_uniform", 1400))
+
+        over = stacked()
+        bounds = over.phase_bounds(1400)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 1400
+        # Boundary union: every component boundary survives the stack.
+        starts = {p.start_cycle for p in over.phases}
+        base = sequence(build_scenario("diurnal", 700),
+                        build_scenario("load_spike", 700), 700)
+        assert {p.start_cycle for p in base.phases} <= starts
+        # Structural identity holds through the stack.
+        assert stacked().fingerprint() == over.fingerprint()
+
+    def test_sequence_keeps_feedback_rules_on_kept_phases(self):
+        closed = build_scenario("closed_loop_shedding", 700)
+        open_loop = build_scenario("steady", 700)
+        composed = sequence(closed, open_loop, 700)
+        kept_rules = sum(len(p.rules) for p in composed.phases)
+        assert kept_rules == sum(len(p.rules) for p in closed.phases)
+
+    def test_overlay_concatenates_rules_from_both_components(self):
+        closed = build_scenario("closed_loop_shedding", 700)
+        storm = build_scenario("fault_storm", 700)
+        over = overlay(closed, storm)
+        # Every merged slice carries at least the base's controller; the
+        # total cannot be fewer rules than either component scripted.
+        assert sum(len(p.rules) for p in over.phases) >= max(
+            sum(len(p.rules) for p in closed.phases),
+            sum(len(p.rules) for p in storm.phases),
+        )
+        assert over.phase_bounds(700)[-1][1] == 700

@@ -1,0 +1,253 @@
+"""Differential architecture checks and the fuzz-triage shrinker.
+
+Findings are self-contained JSON (round-trippable, unknown fields
+rejected), a differential point is bitwise deterministic per (schedule,
+seed, operating point), the electrical mesh survives photonic fault
+scripts (they degrade to counted skips), and the greedy shrinker only
+ever proposes valid schedules while driving to a fixed point.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.differential import (
+    DEFAULT_ARCHS,
+    Finding,
+    differential_point,
+    run_differential,
+    verify_finding,
+)
+from repro.scenarios.generate import sample_schedule
+from repro.scenarios.library import scenarios
+from repro.scenarios.schedule import (
+    FaultEvent,
+    FeedbackRule,
+    Phase,
+    ScenarioError,
+    ScenarioSchedule,
+    SinusoidLoad,
+)
+
+# tools/ is not a package; the triage script imports like the CLI runs it.
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+import fuzz_triage  # noqa: E402
+
+TOTAL = 300
+
+
+def tiny_schedule(name="diff-tiny"):
+    return ScenarioSchedule(
+        name,
+        (
+            Phase(start_cycle=0, pattern="uniform"),
+            Phase(start_cycle=150, pattern="skewed3", load_scale=1.2),
+        ),
+        description="differential test workload",
+    )
+
+
+def faulty_schedule(name="diff-faulty"):
+    return ScenarioSchedule(
+        name,
+        (
+            Phase(
+                start_cycle=0,
+                pattern="uniform",
+                faults=(
+                    FaultEvent(40, "kill_wavelengths", cluster=2, count=2),
+                    FaultEvent(60, "blackout_receiver", cluster=5,
+                               duration_cycles=50),
+                    FaultEvent(80, "freeze_token", cluster=1),
+                ),
+            ),
+        ),
+        description="photonic fault script for the electrical floor",
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Unregister every scenario a test (transitively) registered."""
+    before = set(scenarios.names())
+    yield
+    for name in set(scenarios.names()) - before:
+        scenarios.unregister(name)
+
+
+class TestFinding:
+    def test_round_trips_through_json(self):
+        finding = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        wire = json.loads(json.dumps(finding.to_dict()))
+        assert Finding.from_dict(wire) == finding
+
+    def test_unknown_fields_rejected(self):
+        finding = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        payload = finding.to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ScenarioError, match="unknown finding fields"):
+            Finding.from_dict(payload)
+
+    def test_embedded_schedule_is_loadable(self):
+        finding = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        clone = finding.schedule_object()
+        assert clone.fingerprint() == finding.fingerprint
+
+
+class TestDifferentialPoint:
+    def test_covers_every_architecture(self):
+        finding = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        for table in (finding.delivered_gbps, finding.mean_latency_cycles,
+                      finding.energy_per_message_pj):
+            assert set(table) == set(DEFAULT_ARCHS)
+
+    def test_margin_matches_the_delivered_table(self):
+        finding = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        assert finding.margin_gbps == pytest.approx(
+            finding.delivered_gbps["dhetpnoc"]
+            - finding.delivered_gbps["firefly"]
+        )
+        assert finding.inverted == (finding.margin_gbps < 0)
+
+    def test_repeat_is_bitwise_identical(self):
+        first = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        second = differential_point(tiny_schedule(), total_cycles=TOTAL)
+        assert first == second
+
+    def test_electrical_survives_photonic_fault_scripts(self):
+        finding = differential_point(
+            faulty_schedule(), total_cycles=TOTAL, archs=("electrical",)
+        )
+        assert finding.delivered_gbps["electrical"] > 0
+
+    def test_run_too_short_for_the_script_fails_loudly(self):
+        with pytest.raises(ScenarioError):
+            differential_point(tiny_schedule(), total_cycles=100)
+
+    def test_verify_finding_agrees_with_the_flag(self):
+        finding = differential_point(
+            tiny_schedule(), total_cycles=TOTAL,
+            archs=("dhetpnoc", "firefly"),
+        )
+        assert verify_finding(
+            finding, archs=("dhetpnoc", "firefly")
+        ) == finding.inverted
+
+
+class TestRunDifferential:
+    def test_one_finding_per_seed(self):
+        findings = run_differential(
+            2, base_seed=21, total_cycles=TOTAL,
+            archs=("dhetpnoc", "firefly"),
+        )
+        assert [f.seed for f in findings] == [21, 22]
+        # Every finding is wire-ready, inverted or not.
+        for finding in findings:
+            json.dumps(finding.to_dict())
+
+
+def rich_schedule():
+    """A deterministic multi-phase schedule with every strippable kind
+    of content, for exercising the shrinker without a simulator."""
+    return ScenarioSchedule(
+        "triage-rich",
+        (
+            Phase(
+                start_cycle=0,
+                pattern="skewed_hotspot1",
+                hotspot_core=7,
+                load_scale=1.4,
+                modulator=SinusoidLoad(1.0, 0.4, 200.0),
+                faults=(FaultEvent(10, "kill_wavelengths", cluster=0,
+                                   count=1),),
+                placement_key="triage",
+            ),
+            Phase(
+                start_cycle=200,
+                pattern="uniform",
+                faults=(
+                    FaultEvent(20, "freeze_token", cluster=3),
+                    FaultEvent(50, "thaw_token", cluster=3),
+                ),
+                rules=(FeedbackRule(
+                    metric="mean_latency_cycles", threshold=200.0,
+                    action="shed_load", window_cycles=100, check_every=50,
+                ),),
+            ),
+            Phase(start_cycle=400, load_scale=0.8),
+        ),
+        description="shrinker exercise schedule",
+    )
+
+
+class TestTriageShrinker:
+    def test_candidates_are_all_valid(self):
+        for candidate in fuzz_triage.candidates(rich_schedule()):
+            bounds = candidate.phase_bounds(600)
+            assert bounds[0][0] == 0
+
+    def test_candidates_cover_generated_schedules(self):
+        schedule = sample_schedule(5, total_cycles=600)
+        for candidate in fuzz_triage.candidates(schedule):
+            candidate.phase_bounds(600)
+
+    def test_shrink_reaches_the_bare_fixed_point(self):
+        minimal = fuzz_triage.shrink(rich_schedule(), lambda s: True)
+        assert len(minimal.phases) == 1
+        phase = minimal.phases[0]
+        assert phase.start_cycle == 0
+        assert phase.pattern is None
+        assert phase.hotspot_core is None
+        assert phase.modulator is None
+        assert phase.faults == ()
+        assert phase.rules == ()
+        assert phase.placement_key is None
+        assert phase.load_scale == 1.0
+
+    def test_shrink_preserves_what_the_predicate_needs(self):
+        def needs_a_fault(schedule):
+            return any(p.faults for p in schedule.phases)
+
+        minimal = fuzz_triage.shrink(rich_schedule(), needs_a_fault)
+        assert sum(len(p.faults) for p in minimal.phases) == 1
+        assert sum(len(p.rules) for p in minimal.phases) == 0
+
+    def test_shrink_never_proposes_an_invalid_schedule(self):
+        seen = []
+
+        def spy(schedule):
+            schedule.phase_bounds(600)
+            seen.append(schedule)
+            return any(p.faults for p in schedule.phases)
+
+        fuzz_triage.shrink(rich_schedule(), spy)
+        assert seen  # the predicate really drove the search
+
+
+class TestPickFinding:
+    def _finding(self, inverted, seed=1):
+        base = differential_point(
+            tiny_schedule(f"pick-{seed}-{inverted}"), seed=seed,
+            total_cycles=TOTAL, archs=("dhetpnoc", "firefly"),
+        ).to_dict()
+        base["inverted"] = inverted
+        return base
+
+    def test_single_object_accepted(self):
+        data = self._finding(inverted=False)
+        assert fuzz_triage.pick_finding(data, None).seed == 1
+
+    def test_first_inverted_wins(self):
+        data = [self._finding(False, seed=1), self._finding(True, seed=2),
+                self._finding(True, seed=3)]
+        assert fuzz_triage.pick_finding(data, None).seed == 2
+
+    def test_index_overrides(self):
+        data = [self._finding(False, seed=1), self._finding(True, seed=2)]
+        assert fuzz_triage.pick_finding(data, 0).seed == 1
+
+    def test_no_inversions_yields_none(self):
+        data = [self._finding(False, seed=1)]
+        assert fuzz_triage.pick_finding(data, None) is None

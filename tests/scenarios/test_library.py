@@ -5,10 +5,12 @@ import pytest
 from repro.scenarios.library import (
     build_scenario,
     describe_scenario,
+    register_schedule,
     scenario_catalog,
     scenario_names,
+    scenarios,
 )
-from repro.scenarios.schedule import ScenarioError
+from repro.scenarios.schedule import Phase, ScenarioError, ScenarioSchedule
 
 #: Acceptance criterion: the registry exposes at least 6 named scenarios.
 EXPECTED = {
@@ -89,3 +91,51 @@ class TestBuilders:
         }
         assert {"kill_wavelengths", "freeze_token", "thaw_token",
                 "blackout_receiver"} <= actions
+
+
+def concrete(name, load_scale=1.0):
+    """A minimal concrete schedule for collision tests."""
+    return ScenarioSchedule(
+        name, (Phase(start_cycle=0, load_scale=load_scale),),
+        description="collision probe",
+    )
+
+
+class TestRegisterScheduleCollisions:
+    """Name collisions resolve by content, never silently."""
+
+    NAME = "test-collision-probe"
+
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        yield
+        if self.NAME in set(scenarios.names()):
+            scenarios.unregister(self.NAME)
+
+    def test_same_content_is_idempotent(self):
+        first = register_schedule(concrete(self.NAME))
+        second = register_schedule(concrete(self.NAME))
+        assert second.fingerprint() == first.fingerprint()
+        assert build_scenario(self.NAME, 100) == first
+
+    def test_different_content_under_taken_name_rejected(self):
+        register_schedule(concrete(self.NAME, load_scale=1.0))
+        clash = concrete(self.NAME, load_scale=1.5)
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_schedule(clash)
+        # The message names both fingerprints, so the collision is
+        # diagnosable without a debugger.
+        with pytest.raises(ScenarioError, match=clash.fingerprint()):
+            register_schedule(clash)
+        # The original registration is untouched.
+        assert build_scenario(self.NAME, 100).phases[0].load_scale == 1.0
+
+    def test_override_replaces_deliberately(self):
+        register_schedule(concrete(self.NAME, load_scale=1.0))
+        replacement = concrete(self.NAME, load_scale=1.5)
+        register_schedule(replacement, override=True)
+        assert build_scenario(self.NAME, 100) == replacement
+
+    def test_builtin_names_are_protected_too(self):
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_schedule(concrete("steady"))

@@ -98,7 +98,9 @@ def test_registry_namespace_tables():
 def test_registered_names_are_the_canonical_ones():
     from repro.api import registry
 
-    assert set(registry.architectures.names()) == {"firefly", "dhetpnoc"}
+    assert set(registry.architectures.names()) == {
+        "firefly", "dhetpnoc", "electrical",
+    }
     assert set(registry.bandwidth_sets.names()) == {1, 2, 3}
     assert set(registry.fidelities.names()) == {"paper", "quick"}
     assert {"jsonl", "sharded", "memory"} <= set(registry.store_backends.names())

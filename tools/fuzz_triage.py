@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Shrink a differential fuzz finding to a minimal scenario script.
+
+``dhetpnoc-repro scenarios fuzz --out findings.json`` records every
+generated schedule with its per-architecture metrics; the interesting
+ones are the *inversions*, where Firefly out-delivered d-HetPNoC. A raw
+generated schedule is noisy — composed phases, incidental faults, rules
+that never fire — so this tool greedily simplifies it while the
+inversion keeps reproducing: drop phases, drop faults and rules, null
+modulators, clear pattern rebinds, until no single simplification
+preserves the failure. The result is saved as an ordinary loadable
+scenario script (``scenarios load`` / ``scenarios run`` / a sweep axis
+accept it directly), ready to be curated into the library as a named
+inverted-regime exhibit.
+
+Every candidate is re-verified by actually re-simulating the finding's
+exact operating point on the proposed-vs-baseline pair, so the minimal
+script is guaranteed to still invert the margin — bitwise, not
+probabilistically.
+
+Usage::
+
+    PYTHONPATH=src python tools/fuzz_triage.py findings.json \
+        --out minimal.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Callable, Iterator, List, Optional
+
+from repro.scenarios.differential import Finding, differential_point
+from repro.scenarios.schedule import Phase, ScenarioSchedule
+
+#: Architecture pair a shrink step re-verifies against (the margin's two
+#: sides; the electrical floor is irrelevant to the inversion).
+VERIFY_ARCHS = ("dhetpnoc", "firefly")
+
+
+def _with_phases(
+    schedule: ScenarioSchedule, phases: List[Phase]
+) -> ScenarioSchedule:
+    """*schedule* with a replacement phase list (same name/description)."""
+    return ScenarioSchedule(
+        schedule.name, tuple(phases), description=schedule.description
+    )
+
+
+def candidates(schedule: ScenarioSchedule) -> Iterator[ScenarioSchedule]:
+    """Single-step simplifications of *schedule*, most aggressive first.
+
+    Every yielded candidate is valid by construction: dropping a phase
+    re-anchors the survivor timeline at cycle 0, and all other steps
+    only remove or neutralise optional phase content.
+    """
+    phases = list(schedule.phases)
+    # Drop whole phases (keeping at least one).
+    if len(phases) > 1:
+        for i in range(len(phases)):
+            kept = phases[:i] + phases[i + 1:]
+            if i == 0:
+                kept[0] = dataclasses.replace(kept[0], start_cycle=0)
+            yield _with_phases(schedule, kept)
+    # Strip per-phase content, one field at a time.
+    for i, phase in enumerate(phases):
+        def replaced(**changes) -> ScenarioSchedule:
+            swapped = list(phases)
+            swapped[i] = dataclasses.replace(phase, **changes)
+            return _with_phases(schedule, swapped)
+
+        if phase.faults:
+            yield replaced(faults=())
+            if len(phase.faults) > 1:
+                for j in range(len(phase.faults)):
+                    yield replaced(
+                        faults=phase.faults[:j] + phase.faults[j + 1:]
+                    )
+        if phase.rules:
+            yield replaced(rules=())
+        if phase.modulator is not None:
+            yield replaced(modulator=None)
+        if phase.app_mix is not None:
+            yield replaced(app_mix=None)
+        if phase.pattern is not None:
+            yield replaced(pattern=None, hotspot_core=None, app_mix=None)
+        elif phase.hotspot_core is not None:
+            yield replaced(hotspot_core=None)
+        if phase.placement_key is not None:
+            yield replaced(placement_key=None)
+        if phase.load_scale != 1.0:
+            yield replaced(load_scale=1.0)
+
+
+def shrink(
+    schedule: ScenarioSchedule,
+    still_fails: Callable[[ScenarioSchedule], bool],
+) -> ScenarioSchedule:
+    """Greedy fixed-point shrink: apply any single simplification that
+    keeps ``still_fails`` true, until none does."""
+    current = schedule
+    progress = True
+    while progress:
+        progress = False
+        for candidate in candidates(current):
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _script_size(schedule: ScenarioSchedule) -> str:
+    """Human summary of a script's bulk (phases/faults/rules count)."""
+    faults = sum(len(p.faults) for p in schedule.phases)
+    rules = sum(len(p.rules) for p in schedule.phases)
+    return f"{len(schedule.phases)} phases, {faults} faults, {rules} rules"
+
+
+def pick_finding(data, index: Optional[int]) -> Optional[Finding]:
+    """The finding to shrink: by *index*, or the first inverted one."""
+    if isinstance(data, dict):
+        return Finding.from_dict(data)
+    findings = [Finding.from_dict(entry) for entry in data]
+    if index is not None:
+        return findings[index]
+    for finding in findings:
+        if finding.inverted:
+            return finding
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: load, verify, shrink, save."""
+    parser = argparse.ArgumentParser(
+        description="shrink a margin-inversion fuzz finding to a minimal "
+        "loadable scenario script",
+    )
+    parser.add_argument(
+        "findings",
+        help="JSON from 'scenarios fuzz --out' (a findings list or one "
+        "finding object)",
+    )
+    parser.add_argument(
+        "--index", type=int, default=None,
+        help="which finding to shrink (default: the first inverted one)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="minimal script path (default: minimal-<fingerprint>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.findings, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    finding = pick_finding(data, args.index)
+    if finding is None:
+        print("no inverted findings to shrink")
+        return 0
+
+    def still_inverted(candidate: ScenarioSchedule) -> bool:
+        return differential_point(
+            candidate,
+            seed=finding.seed,
+            bw_set_index=finding.bw_set_index,
+            load_fraction=finding.load_fraction,
+            total_cycles=finding.total_cycles,
+            pattern=finding.pattern,
+            archs=VERIFY_ARCHS,
+        ).inverted
+
+    schedule = finding.schedule_object()
+    if not still_inverted(schedule):
+        print(
+            f"finding {finding.fingerprint} does not reproduce on this "
+            "build; nothing to shrink", file=sys.stderr,
+        )
+        return 1
+    print(f"shrinking {finding.fingerprint} ({_script_size(schedule)})")
+    minimal = shrink(schedule, still_inverted)
+    minimal = ScenarioSchedule(
+        f"{schedule.name}_min",
+        minimal.phases,
+        description=(
+            f"minimal DBA-margin inversion shrunk from fuzz seed "
+            f"{finding.seed} (set{finding.bw_set_index}, "
+            f"{finding.load_fraction:.0%} load, {finding.total_cycles} "
+            f"cycles, base pattern {finding.pattern})"
+        ),
+    )
+    replay = differential_point(
+        minimal,
+        seed=finding.seed,
+        bw_set_index=finding.bw_set_index,
+        load_fraction=finding.load_fraction,
+        total_cycles=finding.total_cycles,
+        pattern=finding.pattern,
+        archs=VERIFY_ARCHS,
+    )
+    out = args.out or f"minimal-{minimal.fingerprint()}.json"
+    minimal.save(out)
+    print(f"minimal script: {_script_size(minimal)}, "
+          f"margin {replay.margin_gbps:+.1f} Gb/s")
+    print(f"saved to {out} (loadable via 'scenarios load {out}')")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ Examples::
     dhetpnoc-repro sweep --arch firefly dhetpnoc --pattern uniform skewed3 \\
         --bw-set 1 --seeds 1 2 3 --workers 4 --store results/store.jsonl
     dhetpnoc-repro sweep --adaptive --resolution 0.05 --pattern skewed3
+    dhetpnoc-repro serve --port 7123 --store results/shards/ --workers 4
+    dhetpnoc-repro jobs submit spec.json --connect localhost:7123
+    dhetpnoc-repro jobs status job-abc123def456 --connect localhost:7123
+    dhetpnoc-repro run --spec spec.json --service localhost:7123
     dhetpnoc-repro store info --store results/shards/ --store-backend sharded
     dhetpnoc-repro store compact --store results/store.jsonl
     dhetpnoc-repro scenarios list
@@ -181,8 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
         "--dry-run", action="store_true",
-        help="with --spec: print per-curve point counts and how many "
-        "points the store is missing, then exit without simulating",
+        help="with --spec: print per-curve point counts, how many points "
+        "the store is missing, and an estimated wall-clock cost priced "
+        "from benchmarks/baseline.json, then exit without simulating",
+    )
+    run.add_argument(
+        "--service", default=None, metavar="HOST:PORT",
+        help="with --spec: submit the spec as a job to a running "
+        "experiment service ('serve') and stream its results; output is "
+        "bitwise-identical to local execution (see docs/service.md)",
     )
     _add_parallel_options(run)
 
@@ -277,6 +288,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos hook for fault-tolerance tests: hard-exit after "
         "streaming N results while still holding a lease",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="host the experiment service: a long-lived daemon that "
+        "accepts spec submissions as jobs and streams results back "
+        "(see docs/service.md)",
+    )
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="bind address (default: all interfaces)")
+    serve.add_argument("--port", type=int, default=7123,
+                       help="bind port (default: 7123; 0 picks a free one)")
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent store shared by every job (directory = sharded); "
+        "omitting it keeps results in service memory only",
+    )
+    serve.add_argument(
+        "--store-backend", default="auto",
+        choices=[n for n in backend_names() if n != "memory"],
+    )
+    serve.add_argument(
+        "--workers", type=_workers, default=1,
+        help="simulation worker processes per running job (default: 1)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=2, metavar="N",
+        help="jobs executed concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=16, metavar="N",
+        help="queued jobs admitted before submissions are rejected "
+        "(default: 16)",
+    )
+    serve.add_argument(
+        "--fabric", default=None, metavar="HOST:PORT",
+        help="dispatch every job's points through this fabric coordinator "
+        "('fabric serve') instead of local worker pools",
+    )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="drive jobs on a running experiment service: "
+        "submit/status/watch/cancel/list (see docs/service.md)",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    submit = jobs_sub.add_parser(
+        "submit", help="submit a declarative spec JSON file as a job"
+    )
+    submit.add_argument("spec", metavar="SPEC.json")
+    submit.add_argument(
+        "--no-watch", action="store_true",
+        help="print the job id and return instead of streaming results "
+        "(re-attach later with 'jobs watch')",
+    )
+    watch = jobs_sub.add_parser(
+        "watch", help="stream a job's results (replays from the start)"
+    )
+    watch.add_argument("job_id", metavar="JOB_ID")
+    status = jobs_sub.add_parser("status", help="show one job's state")
+    status.add_argument("job_id", metavar="JOB_ID")
+    cancel = jobs_sub.add_parser(
+        "cancel",
+        help="cancel a job; completed points stay in the store, so "
+        "re-submitting the spec resumes where it stopped",
+    )
+    cancel.add_argument("job_id", metavar="JOB_ID")
+    jobs_sub.add_parser("list", help="list every job the service admitted")
+    for cmd in (submit, watch, status, cancel,
+                jobs_sub.choices["list"]):
+        cmd.add_argument(
+            "--connect", required=True, metavar="HOST:PORT",
+            help="service address ('serve' prints it)",
+        )
 
     store = sub.add_parser(
         "store", help="inspect or compact a persistent result store"
@@ -562,12 +647,61 @@ def _run_spec_file(args) -> int:
         print(f"dhetpnoc-repro run: error: bad spec {args.spec!r}: {exc}",
               file=sys.stderr)
         return 2
+    if args.service is not None and not args.dry_run:
+        return _run_spec_service(spec, args)
     session = _make_session(args.workers, args.store, args.store_backend,
                             getattr(args, "fabric", None))
     if args.dry_run:
-        print(session.dry_run(spec).describe())
+        from repro.experiments.costing import describe_cost
+
+        report = session.dry_run(spec)
+        print(report.describe())
+        sims = (
+            report.to_simulate
+            if report.to_simulate is not None
+            else report.total_points
+        )
+        cost = describe_cost(sims, spec.fidelity, args.workers)
+        if cost:
+            print(cost)
         return 0
     return _execute_spec(spec, session)
+
+
+def _point_line(index: int, key: str, result, cached: bool) -> None:
+    """Progress line printed per streamed service result."""
+    label = f"{result.arch}/set{result.bw_set_index}/{result.pattern}"
+    if result.scenario:
+        label += f"/{result.scenario}"
+    tag = "store" if cached else "sim"
+    print(f"  [{index}] {label} @ {result.offered_gbps:.0f} Gb/s -> "
+          f"{result.delivered_gbps:.1f} Gb/s delivered [{tag}]")
+
+
+def _run_spec_service(spec: ExperimentSpec, args) -> int:
+    """``run --spec --service``: execute via a running service daemon.
+
+    The daemon streams grid-ordered results that are bitwise-identical
+    to local execution, so the replication table is rendered from a
+    local in-memory session pre-warmed with the streamed points.
+    """
+    from repro.experiments.store import ResultStore
+    from repro.fabric.errors import FabricError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(args.service) as client:
+            run = client.run_spec(spec, on_point=_point_line)
+    except FabricError as exc:
+        print(f"dhetpnoc-repro run: service error: {exc}", file=sys.stderr)
+        return 1
+    print(f"service {args.service}: job {run.job_id} done: "
+          f"{len(run.results)} point(s), {run.executed} simulated, "
+          f"{run.hits} from store")
+    session = Session(ResultStore())
+    for key, result in zip(run.keys, run.results):
+        session.store.put(key, result)
+    return _print_replication(spec, session)
 
 
 def _run_fabric(args) -> int:
@@ -610,6 +744,89 @@ def _run_fabric(args) -> int:
         return 1
     print(f"worker done: {completed} point(s) simulated")
     return 0
+
+
+def _run_serve(args) -> int:
+    """``serve``: host the experiment service daemon."""
+    import logging
+
+    from repro.service.daemon import ExperimentService
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(message)s"
+    )
+    service = ExperimentService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        max_pending=args.max_pending,
+        backend=args.store_backend,
+        fabric=args.fabric,
+    )
+    host, port = service.start()
+    where = service.store.path if args.store else "service memory"
+    print(f"experiment service listening on {host}:{port} "
+          f"(store: {where})", flush=True)
+    service.serve_forever()
+    return 0
+
+
+def _run_jobs(args) -> int:
+    """``jobs submit|watch|status|cancel|list`` against a service."""
+    from repro.fabric.errors import FabricError
+    from repro.service.client import ServiceClient
+
+    def summary(run) -> None:
+        print(f"job {run.job_id} done: {len(run.results)} point(s), "
+              f"{run.executed} simulated, {run.hits} from store")
+
+    try:
+        with ServiceClient(args.connect) as client:
+            if args.jobs_command == "submit":
+                try:
+                    spec = ExperimentSpec.load(args.spec)
+                except (OSError, KeyError, ValueError) as exc:
+                    print(f"dhetpnoc-repro jobs: error: bad spec "
+                          f"{args.spec!r}: {exc}", file=sys.stderr)
+                    return 2
+                handle = client.submit(spec, watch=not args.no_watch)
+                dedup = " (duplicate submission)" if handle.deduped else ""
+                print(f"job {handle.job_id} {handle.state}: "
+                      f"{handle.total} point(s){dedup}", flush=True)
+                if args.no_watch:
+                    return 0
+                summary(client.stream(handle.job_id, on_point=_point_line))
+                return 0
+            if args.jobs_command == "watch":
+                summary(client.watch(args.job_id, on_point=_point_line))
+                return 0
+            if args.jobs_command == "status":
+                row = client.status(args.job_id)
+                detail = f" ({row['error']})" if row["error"] else ""
+                print(f"job {row['job_id']} {row['state']}: "
+                      f"{row['completed']}/{row['total']} point(s), "
+                      f"{row['executed']} simulated, "
+                      f"{row['hits']} from store{detail}")
+                return 0
+            if args.jobs_command == "cancel":
+                state = client.cancel(args.job_id)
+                print(f"job {args.job_id} {state}")
+                return 0
+            rows = [
+                [r["job_id"], r["state"], r["total"], r["completed"],
+                 r["executed"], r["hits"]]
+                for r in client.list_jobs()
+            ]
+            print(ascii_table(
+                ["job", "state", "points", "done", "simulated", "hits"],
+                rows, title=f"Jobs on {args.connect}",
+            ))
+            return 0
+    except FabricError as exc:
+        print(f"dhetpnoc-repro jobs: error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _run_store(args) -> int:
@@ -858,6 +1075,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.service is not None and args.fabric is not None:
+            print(
+                "dhetpnoc-repro run: error: --service and --fabric are "
+                "mutually exclusive (a service daemon can itself dispatch "
+                "through a fabric: serve --fabric)",
+                file=sys.stderr,
+            )
+            return 2
         if args.spec is not None:
             if args.fidelity is not None or args.seed is not None:
                 print(
@@ -867,6 +1092,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 return 2
             return _run_spec_file(args)
+        if args.service is not None:
+            print(
+                "dhetpnoc-repro run: error: --service needs --spec (the "
+                "service executes declarative specs)",
+                file=sys.stderr,
+            )
+            return 2
         if args.dry_run:
             print(
                 "dhetpnoc-repro run: error: --dry-run needs --spec (named "
@@ -901,6 +1133,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "fabric":
         return _run_fabric(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "jobs":
+        return _run_jobs(args)
     if args.command == "store":
         return _run_store(args)
     if args.command == "scenarios":

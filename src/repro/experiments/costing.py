@@ -1,0 +1,169 @@
+"""Wall-clock cost estimates for ``run --spec --dry-run``.
+
+A dry run already counts exactly how many points a spec would simulate
+(:meth:`Session.dry_run <repro.api.session.Session.dry_run>`); this
+module prices that count in estimated wall-seconds using the committed
+bench baseline (``benchmarks/baseline.json``, written by
+``tools/bench_log.py``). The anchor is the ``run_steady`` bench — one
+full simulation at the bench fidelity's cycle count — scaled linearly
+to the spec fidelity's ``total_cycles`` and divided across the worker
+pool. Linear-in-cycles is deliberately simple: the per-cycle hot path
+dominates a run, and a dry-run estimate only needs to answer "seconds,
+minutes or hours?" before someone commits a pool to a grid.
+
+Everything degrades gracefully: when no baseline is readable (fresh
+checkout, no benchmarks yet) the estimate is ``None`` and the CLI
+simply prints nothing extra.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.experiments.runner import Fidelity
+
+__all__ = [
+    "default_baseline_path",
+    "describe_cost",
+    "estimate_wall_seconds",
+    "format_duration",
+    "load_baseline",
+    "per_point_seconds",
+]
+
+#: Environment override for the baseline location (tests, exotic CI).
+BASELINE_ENV = "REPRO_BENCH_BASELINE"
+
+#: The bench entry that anchors the estimate: one steady simulation.
+BASELINE_BENCH = "run_steady"
+
+#: Cycle count the bench baseline was timed at
+#: (``tools/bench_log.py``'s ``BENCH_TOTAL_CYCLES``).
+BASELINE_CYCLES = 700
+
+
+def default_baseline_path() -> str:
+    """The committed baseline's path (``benchmarks/baseline.json``)."""
+    override = os.environ.get(BASELINE_ENV)
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.normpath(
+        os.path.join(here, os.pardir, os.pardir, os.pardir)
+    )
+    return os.path.join(root, "benchmarks", "baseline.json")
+
+
+def load_baseline(path: Optional[str] = None) -> Optional[dict]:
+    """Load a bench-baseline record; ``None`` when unavailable.
+
+    Accepts both the committed baseline layout (``{"benches": {...}}``)
+    and a raw ``BENCH_*.json`` record from ``tools/bench_log.py``.
+    """
+    path = path if path is not None else default_baseline_path()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def per_point_seconds(
+    fidelity: Fidelity, baseline: dict
+) -> Optional[float]:
+    """Estimated seconds one simulation of *fidelity* costs.
+
+    Scales the baseline's ``run_steady`` timing linearly to the
+    fidelity's cycle count; ``None`` when the baseline lacks the
+    anchor bench.
+
+    >>> baseline = {"benches": {"run_steady": {"seconds": 0.05}}}
+    >>> per_point_seconds(Fidelity("x", 1400, 100, (0.5,)), baseline)
+    0.1
+    """
+    benches = baseline.get("benches", {})
+    entry = benches.get(BASELINE_BENCH)
+    if not isinstance(entry, dict) or "seconds" not in entry:
+        return None
+    try:
+        seconds = float(entry["seconds"])
+    except (TypeError, ValueError):
+        return None
+    if seconds <= 0:
+        return None
+    return seconds * fidelity.total_cycles / BASELINE_CYCLES
+
+
+def estimate_wall_seconds(
+    n_sims: int,
+    fidelity: Fidelity,
+    workers: int = 1,
+    baseline: Optional[dict] = None,
+) -> Optional[float]:
+    """Estimated wall-seconds for *n_sims* simulations of *fidelity*.
+
+    Divides the serial cost across *workers* (a sweep grid is
+    embarrassingly parallel). ``None`` when no baseline is available.
+
+    >>> baseline = {"benches": {"run_steady": {"seconds": 0.05}}}
+    >>> estimate_wall_seconds(
+    ...     8, Fidelity("x", 1400, 100, (0.5,)), workers=4,
+    ...     baseline=baseline)
+    0.2
+    """
+    if baseline is None:
+        baseline = load_baseline()
+    if baseline is None:
+        return None
+    per_point = per_point_seconds(fidelity, baseline)
+    if per_point is None:
+        return None
+    return n_sims * per_point / max(1, workers)
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds at dry-run precision (estimate-grade, not exact).
+
+    >>> format_duration(0.4), format_duration(75), format_duration(4000)
+    ('~0.4s', '~1m15s', '~1h06m')
+    """
+    if seconds < 1:
+        return f"~{seconds:.1f}s"
+    total = round(seconds)
+    if total < 60:
+        return f"~{total}s"
+    if total < 3600:
+        return f"~{total // 60}m{total % 60:02d}s"
+    return f"~{total // 3600}h{total % 3600 // 60:02d}m"
+
+
+def describe_cost(
+    n_sims: int,
+    fidelity: Fidelity,
+    workers: int = 1,
+    baseline: Optional[dict] = None,
+) -> Optional[str]:
+    """One printable cost line for a dry run; ``None`` when no
+    baseline is available (the CLI then prints nothing extra).
+
+    >>> baseline = {"benches": {"run_steady": {"seconds": 0.05}}}
+    >>> describe_cost(8, Fidelity("x", 1400, 100, (0.5,)), workers=4,
+    ...               baseline=baseline)
+    'estimated cost: ~0.2s wall (8 sims x ~0.10s each across 4 workers)'
+    """
+    if baseline is None:
+        baseline = load_baseline()
+    if baseline is None:
+        return None
+    per_point = per_point_seconds(fidelity, baseline)
+    if per_point is None:
+        return None
+    wall = n_sims * per_point / max(1, workers)
+    return (
+        f"estimated cost: {format_duration(wall)} wall "
+        f"({n_sims} sims x ~{per_point:.2f}s each "
+        f"across {max(1, workers)} workers)"
+    )

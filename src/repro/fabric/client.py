@@ -28,7 +28,12 @@ from repro.fabric.protocol import (
     recv_message,
     send_message,
 )
-from repro.fabric.transport import Address, make_transport, parse_address
+from repro.fabric.transport import (
+    Address,
+    connect_with_backoff,
+    make_transport,
+    parse_address,
+)
 
 __all__ = ["FabricClient", "JobOutcome"]
 
@@ -60,11 +65,18 @@ class FabricClient:
         *,
         transport: str = "tcp",
         connect_timeout: float = 10.0,
+        connect_attempts: int = 5,
     ) -> None:
         self.address = parse_address(connect)
         try:
-            self._conn = make_transport(transport).connect(
-                self.address, timeout=connect_timeout
+            # Bounded exponential backoff: a client launched alongside
+            # `fabric serve` (CI smoke lanes, scripted topologies) must
+            # not lose the race against the coordinator's bind.
+            self._conn = connect_with_backoff(
+                make_transport(transport),
+                self.address,
+                timeout=connect_timeout,
+                attempts=connect_attempts,
             )
         except OSError as exc:
             host, port = self.address

@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import importlib.util
 import socket
+import time
 from typing import Optional, Tuple, Union
 
 from repro.api.base import Registry
@@ -33,6 +34,7 @@ __all__ = [
     "Listener",
     "TcpTransport",
     "Transport",
+    "connect_with_backoff",
     "parse_address",
     "transports",
 ]
@@ -217,3 +219,37 @@ def _mpi_transport() -> Transport:
 def make_transport(name: str = "tcp") -> Transport:
     """Build a transport by registry *name* (default ``tcp``)."""
     return transports.get(name)()
+
+
+def connect_with_backoff(
+    transport: Transport,
+    address: Address,
+    *,
+    timeout: Optional[float] = None,
+    attempts: int = 5,
+    base_delay: float = 0.2,
+    max_delay: float = 2.0,
+) -> Connection:
+    """Dial *address*, retrying refused connects with exponential backoff.
+
+    Daemons and the peers that join them usually start within moments
+    of each other (CI smoke lanes, ``worker --connect`` scripts fired
+    alongside ``serve``), so the first dial routinely races the
+    listener's bind. Instead of making every launcher sleep-and-poll,
+    retry here: *attempts* dials total, sleeping ``base_delay * 2**n``
+    (capped at *max_delay*) between them. Only :class:`OSError` —
+    refusal, unreachable, timeout — is retried; the last attempt's
+    error propagates unchanged. ``attempts=1`` restores single-shot
+    semantics for callers that want to fail fast.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return transport.connect(address, timeout=timeout)
+        except OSError:
+            if attempt == attempts:
+                raise
+        time.sleep(min(delay, max_delay))
+        delay *= 2

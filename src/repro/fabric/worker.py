@@ -46,7 +46,7 @@ from repro.fabric.protocol import (
     recv_message,
     send_message,
 )
-from repro.fabric.transport import Address, make_transport
+from repro.fabric.transport import Address, connect_with_backoff, make_transport
 
 __all__ = ["Worker", "default_capabilities"]
 
@@ -74,7 +74,13 @@ class Worker:
             :func:`default_capabilities`.
         fail_after: Chaos hook — hard-exit after this many streamed
             results (see module docstring). ``None`` disables it.
-        connect_timeout: Seconds to wait for the coordinator.
+        connect_timeout: Seconds to wait for the coordinator per dial.
+        connect_attempts: Initial-connect dials before giving up. A
+            worker is routinely launched in the same breath as ``fabric
+            serve``, so the first dial races the coordinator's bind;
+            bounded exponential backoff (see
+            :func:`~repro.fabric.transport.connect_with_backoff`)
+            absorbs that race without launcher-side sleep loops.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class Worker:
         capabilities: Optional[dict] = None,
         fail_after: Optional[int] = None,
         connect_timeout: float = 10.0,
+        connect_attempts: int = 8,
     ) -> None:
         self._address = connect
         self._transport = make_transport(transport)
@@ -93,6 +100,7 @@ class Worker:
             self._capabilities.update(capabilities)
         self._fail_after = fail_after
         self._connect_timeout = connect_timeout
+        self._connect_attempts = connect_attempts
         self._conn = None
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
@@ -112,8 +120,11 @@ class Worker:
         Returns the number of points simulated (0 is normal for a
         worker that joined after the queue drained).
         """
-        conn = self._transport.connect(
-            self._address, timeout=self._connect_timeout
+        conn = connect_with_backoff(
+            self._transport,
+            self._address,
+            timeout=self._connect_timeout,
+            attempts=self._connect_attempts,
         )
         self._conn = conn
         try:

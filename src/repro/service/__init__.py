@@ -1,0 +1,59 @@
+"""Experiment service: a long-lived job daemon over ``Session``.
+
+One daemon (``dhetpnoc-repro serve``) owns a result store and a job
+queue; any number of clients submit :class:`~repro.api.spec.
+ExperimentSpec` JSON over the fabric's wire layer (``repro jobs
+submit|status|watch|cancel|list`` or :class:`ServiceClient`) and
+receive results streamed incrementally as points resolve. Jobs run
+concurrently against the shared store under per-shard write leases,
+duplicate submissions dedup by content-hashed job ID, and every
+result is bitwise-identical to a local ``Session.run`` with identical
+store keys — see docs/service.md.
+
+Layout::
+
+    errors   ServiceError (extends FabricError)
+    jobs     JobRecord/JobQueue: IDs, lifecycle, admission, streaming state
+    leases   ShardLeases + SingleWriterBackend (single-writer discipline)
+    daemon   ExperimentService: accept loop, runners, job_* frames
+    client   ServiceClient: submit/stream/status/cancel/list
+
+Submodules are imported lazily, mirroring ``repro.fabric``: the daemon
+pulls in the whole simulation stack, and ``repro.service.errors``
+alone must stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.service.errors import ServiceError
+
+__all__ = [
+    "ExperimentService",
+    "JobQueue",
+    "JobRecord",
+    "JobRejected",
+    "ServiceClient",
+    "ServiceError",
+    "SingleWriterBackend",
+    "job_id_for_spec",
+]
+
+_LAZY = {
+    "ExperimentService": ("repro.service.daemon", "ExperimentService"),
+    "JobQueue": ("repro.service.jobs", "JobQueue"),
+    "JobRecord": ("repro.service.jobs", "JobRecord"),
+    "JobRejected": ("repro.service.jobs", "JobRejected"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "SingleWriterBackend": ("repro.service.leases", "SingleWriterBackend"),
+    "job_id_for_spec": ("repro.service.jobs", "job_id_for_spec"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,534 @@
+"""``ExperimentService``: a long-lived job server over ``Session``.
+
+``repro serve`` turns the one-shot experiment stack into a daemon:
+many clients submit :class:`~repro.api.spec.ExperimentSpec` JSON over
+the fabric's wire layer (same length-prefixed frames, same
+hello/welcome handshake and version/frame-cap discipline — new
+``job_*`` frame types under the ``jobs`` role), and a pool of runner
+threads executes the admitted jobs concurrently against one shared
+store.
+
+What keeps concurrent execution honest:
+
+* **Identical results.** Every job runs through the same
+  :class:`~repro.experiments.sweep.PointExecutor` machinery a local
+  :meth:`Session.run <repro.api.session.Session.run>` uses — same
+  content-hash keys, same ``_execute_point`` entry — so streamed
+  results are bitwise-equal to a local run and land under identical
+  store keys.
+* **Single-writer stores.** The daemon wraps its store backend in
+  :class:`~repro.service.leases.SingleWriterBackend`: one writer per
+  ``(arch, bw_set_index)`` shard at a time, reads lock-free.
+* **Cross-job point dedup.** Before simulating a point, a runner
+  claims its store key in the in-flight table; a concurrent job
+  needing the same key waits for the claim to release and reads the
+  result from the store — one simulation per unique key, exactly like
+  the coordinator's cross-job work-item dedup.
+* **Job-level dedup.** Job IDs are content hashes of the spec
+  (:func:`~repro.service.jobs.job_id_for_spec`), so duplicate
+  submissions attach to the same record and replay the same stream.
+
+Cancellation is cooperative at point boundaries: completed points are
+already durably in the store (whole appended lines — no torn shards),
+so a cancelled job's spec can simply be re-submitted and resumes from
+the store. The daemon itself keeps no durable job state: after a crash
+or restart the registry starts empty, and re-submitting any spec
+resumes from whatever the store already holds.
+
+With ``fabric="host:port"`` each job executes through a
+:class:`~repro.experiments.sweep.FabricExecutor` instead of a local
+pool, composing service and fabric: many clients in, many workers out.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.session import Session, StoreLike, _resolve_store
+from repro.api.spec import ExperimentSpec
+from repro.arch.config import SystemConfig
+from repro.experiments.store import ResultStore, result_to_dict
+from repro.experiments.sweep import (
+    FabricExecutor,
+    PointExecutor,
+    RunPoint,
+    SweepExecutor,
+)
+from repro.fabric.errors import ProtocolError
+from repro.fabric.protocol import PROTOCOL_VERSION, recv_message, send_message
+from repro.fabric.transport import Connection, make_transport
+from repro.service.errors import ServiceError
+from repro.service.jobs import JobQueue, JobRecord
+from repro.service.leases import ShardLeases, SingleWriterBackend
+
+__all__ = ["DEFAULT_PORT", "ExperimentService"]
+
+#: Default TCP port of ``dhetpnoc-repro serve`` (the fabric
+#: coordinator's 7023 plus a hundred: same family, different daemon).
+DEFAULT_PORT = 7123
+
+log = logging.getLogger("repro.service")
+
+
+class _InflightKeys:
+    """Cross-job claims on store keys currently being simulated.
+
+    ``claim`` returns ``None`` when the caller now owns the key (it
+    must ``release`` when the result is in the store), or the owner's
+    completion event to wait on. One simulation per unique key across
+    every concurrently running job.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: Dict[str, threading.Event] = {}
+
+    def claim(self, key: str) -> Optional[threading.Event]:
+        with self._lock:
+            event = self._events.get(key)
+            if event is not None:
+                return event
+            self._events[key] = threading.Event()
+            return None
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            event = self._events.pop(key, None)
+        if event is not None:
+            event.set()
+
+
+class ExperimentService:
+    """Serve ``job_*`` RPCs over a bound endpoint (see module docstring).
+
+    Args:
+        store: Anything :class:`~repro.api.session.Session` accepts —
+            ``None`` (in-memory), a path, a ResultStore or a backend.
+            The daemon wraps it for single-writer shard discipline.
+        host, port: Bind address (port ``0`` picks a free port; read it
+            back from :attr:`address` after :meth:`start`).
+        workers: Simulation processes *per running job* (each job gets
+            its own executor; ``run_points`` batches of this size keep
+            the pool busy while results still stream incrementally).
+        max_jobs: Jobs executed concurrently (runner threads).
+        max_pending: Queued-job backlog admitted before submissions are
+            rejected (admission control).
+        backend: Store-backend name for path stores.
+        config: Optional :class:`~repro.arch.config.SystemConfig`
+            override applied to every job.
+        fabric: Coordinator address; when set, jobs dispatch their
+            points through the distributed fabric instead of local
+            worker pools (service + fabric compose).
+        transport: Transport registry name (default ``tcp``).
+    """
+
+    def __init__(
+        self,
+        store: StoreLike = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 1,
+        max_jobs: int = 2,
+        max_pending: int = 16,
+        backend: str = "auto",
+        config: Optional[SystemConfig] = None,
+        fabric: Optional[str] = None,
+        transport: str = "tcp",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be at least 1")
+        base = _resolve_store(store, backend)
+        self.leases = ShardLeases()
+        guarded = ResultStore(
+            backend=SingleWriterBackend(base.backend, self.leases)
+        )
+        #: The wrapped :class:`Session` owning store + config. Its
+        #: executor computes submit-time key counts; per-job executors
+        #: share its store so every job sees every cached point.
+        self.session = Session(guarded, workers=workers, config=config)
+        self.store = self.session.store
+        self.workers = workers
+        self.max_jobs = max_jobs
+        self.fabric = fabric
+        self.config = config
+        self.jobs = JobQueue(max_pending=max_pending)
+        self._inflight = _InflightKeys()
+        self._transport = make_transport(transport)
+        self._bind = (host, port)
+        self._listener = None
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actual bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("service is not started")
+        return self._listener.address
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and begin accepting + executing in background threads."""
+        if self._listener is not None:
+            raise RuntimeError("service already started")
+        self._listener = self._transport.listen(self._bind)
+        targets = [(self._accept_loop, "service-accept")]
+        targets += [
+            (self._runner_loop, f"service-runner-{i}")
+            for i in range(self.max_jobs)
+        ]
+        for target, name in targets:
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        host, port = self.address
+        log.info("experiment service listening on %s:%d", host, port)
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Blocking convenience for the CLI: start, then wait."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._closed:
+                time.sleep(0.5)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut down: stop accepting, wake waiters, flush the store."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            self._listener.close()
+        with self.jobs.changed:
+            self.jobs.changed.notify_all()
+        self.session.close()
+
+    def __enter__(self) -> "ExperimentService":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- job execution -------------------------------------------------------
+    def _make_executor(self) -> PointExecutor:
+        """A fresh executor for one job (they are not thread-shareable)."""
+        if self.fabric is not None:
+            return FabricExecutor(
+                self.fabric, store=self.store, config=self.config
+            )
+        return SweepExecutor(
+            workers=self.workers, store=self.store, config=self.config
+        )
+
+    def _runner_loop(self) -> None:
+        while not self._closed:
+            record = self.jobs.claim(timeout=0.5)
+            if record is not None:
+                self._run_job(record)
+
+    def _run_job(self, record: JobRecord) -> None:
+        """Execute one job: grid order, chunked, streamed, cancellable."""
+        executor = self._make_executor()
+        try:
+            points = record.spec.to_sweep_spec().expand()
+            fidelity = record.spec.fidelity
+            keys = [executor._key(p, fidelity) for p in points]
+            resolved: Dict[str, dict] = {}  # job-local key -> result dict
+            chunk = max(1, self.workers)
+            start = 0
+            while start < len(points):
+                if record.cancel_event.is_set():
+                    self.jobs.finish(record, "cancelled")
+                    log.info(
+                        "%s cancelled at %d/%d point(s)",
+                        record.job_id, record.completed, record.total,
+                    )
+                    return
+                batch = range(start, min(start + chunk, len(points)))
+                outcomes = self._resolve_batch(
+                    executor, points, keys, batch, fidelity, resolved, record
+                )
+                if outcomes is None:  # cancelled while waiting on a peer
+                    self.jobs.finish(record, "cancelled")
+                    return
+                for index in batch:
+                    result, cached = outcomes[index]
+                    self.jobs.record_point(
+                        record, index, keys[index], result, cached
+                    )
+                start = batch.stop
+            self.jobs.finish(record, "done")
+            log.info(
+                "%s done: %d point(s), %d simulated, %d from store",
+                record.job_id, record.total, record.executed, record.hits,
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced via job state
+            log.warning("%s failed: %r", record.job_id, exc)
+            self.jobs.finish(
+                record, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            executor.close()
+
+    def _resolve_batch(
+        self,
+        executor: PointExecutor,
+        points: List[RunPoint],
+        keys: List[str],
+        batch: range,
+        fidelity,
+        resolved: Dict[str, dict],
+        record: JobRecord,
+    ) -> Optional[Dict[int, Tuple[dict, bool]]]:
+        """Resolve one chunk of grid indices to ``(result_dict, cached)``.
+
+        Store hits and job-local duplicates resolve immediately; keys
+        nobody is simulating are claimed and run through *executor* in
+        one batch (pool parallelism); keys a concurrent job owns are
+        awaited and then read from the store. Returns ``None`` when the
+        job was cancelled while waiting on a peer's simulation.
+        """
+        outcomes: Dict[int, Tuple[dict, bool]] = {}
+        to_run: List[int] = []
+        waiting: List[Tuple[int, threading.Event]] = []
+        for index in batch:
+            key = keys[index]
+            if key in resolved:
+                outcomes[index] = (resolved[key], True)
+                continue
+            point = points[index]
+            hit = self.store.get(key, (point.arch, point.bw_set_index))
+            if hit is not None:
+                entry = result_to_dict(hit)
+                resolved[key] = entry
+                outcomes[index] = (entry, True)
+                continue
+            event = self._inflight.claim(key)
+            if event is None:
+                to_run.append(index)
+            else:
+                waiting.append((index, event))
+        if to_run:
+            try:
+                fresh = executor.run_points(
+                    [points[i] for i in to_run], fidelity
+                )
+            finally:
+                # Claims release even on failure, so waiters re-contend
+                # instead of hanging on a dead owner.
+                for index in to_run:
+                    self._inflight.release(keys[index])
+            for index, result in zip(to_run, fresh):
+                entry = result_to_dict(result)
+                resolved[keys[index]] = entry
+                outcomes[index] = (entry, False)
+        for index, event in waiting:
+            entry = self._await_key(executor, points, keys, index,
+                                    fidelity, event, record)
+            if entry is None:
+                return None
+            resolved[keys[index]] = entry[0]
+            outcomes[index] = entry
+        return outcomes
+
+    def _await_key(
+        self,
+        executor: PointExecutor,
+        points: List[RunPoint],
+        keys: List[str],
+        index: int,
+        fidelity,
+        event: threading.Event,
+        record: JobRecord,
+    ) -> Optional[Tuple[dict, bool]]:
+        """Wait out a peer's claim on ``keys[index]``; fall back to
+        simulating it ourselves if the peer released without storing
+        (its job failed or was cancelled mid-batch). ``None`` = this
+        job was cancelled while waiting."""
+        point = points[index]
+        key = keys[index]
+        while True:
+            while not event.wait(timeout=0.2):
+                if record.cancel_event.is_set():
+                    return None
+                if self._closed:
+                    raise ServiceError("service shutting down")
+            hit = self.store.get(key, (point.arch, point.bw_set_index))
+            if hit is not None:
+                return result_to_dict(hit), True
+            event = self._inflight.claim(key)
+            if event is None:
+                try:
+                    fresh = executor.run_points([point], fidelity)
+                finally:
+                    self._inflight.release(key)
+                return result_to_dict(fresh[0]), False
+
+    # -- accept / serve ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="service-peer", daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: Connection) -> None:
+        try:
+            hello = recv_message(conn)
+            if hello is None:
+                return
+            if hello.get("type") != "hello":
+                raise ProtocolError(
+                    f"expected hello, got {hello.get('type')!r}"
+                )
+            if hello.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol version mismatch: peer speaks "
+                    f"{hello.get('version')!r}, this service speaks "
+                    f"{PROTOCOL_VERSION}"
+                )
+            if hello.get("role") != "jobs":
+                raise ProtocolError(
+                    f"unknown role {hello.get('role')!r}: this endpoint "
+                    f"is an experiment service (role 'jobs'), not a "
+                    f"fabric coordinator"
+                )
+            send_message(conn, {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "server": "service",
+            })
+            self._serve_client(conn)
+        except ProtocolError as exc:
+            log.warning("peer rejected: %s", exc)
+            try:
+                send_message(conn, {"type": "error", "error": str(exc)})
+            except Exception:
+                pass
+        except OSError:
+            # A client that vanished mid-stream: its jobs keep running.
+            pass
+        finally:
+            conn.close()
+
+    def _serve_client(self, conn: Connection) -> None:
+        while not self._closed:
+            message = recv_message(conn)
+            if message is None:
+                return
+            kind = message.get("type")
+            try:
+                if kind == "job_submit":
+                    self._handle_submit(conn, message)
+                elif kind == "job_status":
+                    record = self.jobs.get(str(message.get("job_id")))
+                    send_message(conn, {
+                        "type": "job_status_reply", "job": record.describe(),
+                    })
+                elif kind == "job_results":
+                    record = self.jobs.get(str(message.get("job_id")))
+                    self._stream_job(conn, record)
+                elif kind == "job_cancel":
+                    job_id = str(message.get("job_id"))
+                    state = self.jobs.cancel(job_id)
+                    send_message(conn, {
+                        "type": "job_cancel_reply",
+                        "job_id": job_id,
+                        "state": state,
+                    })
+                elif kind == "job_list":
+                    send_message(conn, {
+                        "type": "job_list_reply",
+                        "jobs": self.jobs.list_jobs(),
+                    })
+                else:
+                    raise ProtocolError(
+                        f"unexpected service frame {kind!r}"
+                    )
+            except ServiceError as exc:
+                # RPC-level refusals (bad spec, unknown job, capacity)
+                # keep the connection: reply and serve the next frame.
+                send_message(conn, {"type": "error", "error": str(exc)})
+
+    def _handle_submit(self, conn: Connection, message: dict) -> None:
+        try:
+            spec = ExperimentSpec.from_dict(message.get("spec"))
+        except (KeyError, ValueError, OSError) as exc:
+            raise ServiceError(f"bad spec: {exc}")
+        if spec.mode != "grid":
+            raise ServiceError(
+                f"service jobs execute grid specs; this spec has "
+                f"mode={spec.mode!r} (run adaptive searches locally)"
+            )
+        record, deduped = self.jobs.submit(spec)
+        log.info(
+            "%s %s: %d point(s) (%s)",
+            record.job_id, record.state, record.total,
+            "deduped" if deduped else "admitted",
+        )
+        send_message(conn, {
+            "type": "job_accepted",
+            "job_id": record.job_id,
+            "state": record.state,
+            "deduped": deduped,
+            "total": record.total,
+        })
+        if message.get("watch"):
+            self._stream_job(conn, record)
+
+    def _stream_job(self, conn: Connection, record: JobRecord) -> None:
+        """Stream ``job_point`` frames from index 0, then ``job_end``.
+
+        Replays already-completed points first, then follows the live
+        tail until the job reaches a terminal state. A send failure
+        (client disconnected mid-stream) propagates as ``OSError`` and
+        only drops this connection — the job keeps running.
+        """
+        index = 0
+        while True:
+            with self.jobs.changed:
+                while (
+                    index >= record.completed
+                    and not record.terminal
+                    and not self._closed
+                ):
+                    self.jobs.changed.wait(timeout=0.5)
+                batch = [
+                    (i, record.keys[i], record.results[i], record.cached[i])
+                    for i in range(index, record.completed)
+                ]
+                summary = record.describe()
+                terminal = record.terminal
+            if not terminal and self._closed:
+                raise ProtocolError("service shutting down")
+            for i, key, result, cached in batch:
+                send_message(conn, {
+                    "type": "job_point",
+                    "job_id": record.job_id,
+                    "index": i,
+                    "key": key,
+                    "result": result,
+                    "cached": cached,
+                })
+            index += len(batch)
+            if terminal and index >= summary["completed"]:
+                send_message(conn, {"type": "job_end", **summary})
+                return

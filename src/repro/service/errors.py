@@ -1,0 +1,17 @@
+"""Exception types of the experiment service.
+
+The service rides the fabric's wire layer, so its errors extend
+:class:`~repro.fabric.errors.FabricError`: one ``except FabricError``
+covers transport, protocol and service failures alike, matching how
+the CLI already reports fabric problems.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.errors import FabricError
+
+__all__ = ["ServiceError"]
+
+
+class ServiceError(FabricError):
+    """A service-level failure (unknown job, rejected spec, bad reply)."""

@@ -1,0 +1,123 @@
+"""Per-shard write leases: single-writer discipline over a store backend.
+
+The service daemon runs jobs concurrently, and every job writes fresh
+results into the *same* store. File-backed backends append one JSON
+line per ``put``; two threads appending to the same shard file could
+interleave partial lines — a torn shard. :class:`SingleWriterBackend`
+closes that hole at the :class:`~repro.experiments.store.StoreBackend`
+seam: every ``put`` first takes the write lease for the result's shard
+coordinates ``(arch, bw_set_index)`` — the exact partition
+:class:`~repro.experiments.store.ShardedJsonlBackend` shards by — so
+each shard has one writer at a time while writes to *different* shards
+proceed in parallel. Reads (``get``/``contains``/``scan``) pass
+through without taking any lease: lookups into already-loaded dicts
+are safe under concurrent appends, so the hot read path stays
+lock-free.
+
+The wrapper composes with any backend (memory, monolithic JSONL,
+sharded, remote): the lease discipline is about *this process's*
+concurrent writers, not about the storage format underneath.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.experiments.runner import RunResult
+from repro.experiments.store import (
+    CompactionStats,
+    ShardCoords,
+    StoreBackend,
+)
+
+__all__ = ["ShardLeases", "SingleWriterBackend"]
+
+
+class ShardLeases:
+    """Lazily-created per-shard write locks, keyed by shard coords.
+
+    ``lease(coords)`` returns the one lock owning writes to that shard;
+    use it as a context manager. The same :class:`ShardLeases` instance
+    can guard several views over one backend — lock identity follows
+    the coordinates, not the caller.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._locks: Dict[ShardCoords, threading.Lock] = {}
+
+    def lease(self, coords: ShardCoords) -> threading.Lock:
+        """The write lock for shard *coords* (created on first use)."""
+        arch, bw_set_index = coords
+        key = (str(arch), int(bw_set_index))
+        with self._guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[key] = lock
+            return lock
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._locks)
+
+
+class SingleWriterBackend(StoreBackend):
+    """Wrap *inner* so writes are serialised per shard (see module doc).
+
+    Args:
+        inner: The backend actually holding the records.
+        leases: Shared :class:`ShardLeases` (one is created when not
+            given). Pass the same instance to several wrappers to make
+            them respect each other's writers.
+    """
+
+    def __init__(
+        self, inner: StoreBackend, leases: Optional[ShardLeases] = None
+    ) -> None:
+        self.inner = inner
+        self.leases = leases if leases is not None else ShardLeases()
+        # Mirror the file backends' `path` so store tooling can print
+        # where the store lives.
+        self.path = getattr(inner, "path", None)
+
+    # -- writes: one writer per shard ---------------------------------------
+    def put(self, key: str, result: RunResult) -> None:
+        """Append under the result's shard lease (blocking)."""
+        with self.leases.lease((result.arch, result.bw_set_index)):
+            self.inner.put(key, result)
+
+    def flush(self) -> None:
+        """Flush the inner backend (quiescent-path maintenance)."""
+        self.inner.flush()
+
+    def compact(self) -> CompactionStats:
+        """Compact the inner backend (quiescent-path maintenance)."""
+        return self.inner.compact()
+
+    def clear(self) -> None:
+        """Clear the inner backend (quiescent-path maintenance)."""
+        self.inner.clear()
+
+    # -- reads: lock-free pass-through --------------------------------------
+    def get(
+        self, key: str, coords: Optional[ShardCoords] = None
+    ) -> Optional[RunResult]:
+        """Lock-free read-through to the inner backend."""
+        return self.inner.get(key, coords)
+
+    def contains(
+        self, key: str, coords: Optional[ShardCoords] = None
+    ) -> bool:
+        """Lock-free membership check on the inner backend."""
+        return self.inner.contains(key, coords)
+
+    def scan(
+        self, coords: Optional[ShardCoords] = None
+    ) -> Iterator[Tuple[str, RunResult]]:
+        """Lock-free scan of the inner backend."""
+        return self.inner.scan(coords)
+
+    def __len__(self) -> int:
+        return len(self.inner)

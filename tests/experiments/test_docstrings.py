@@ -16,6 +16,7 @@ import repro.api.base
 import repro.api.registry
 import repro.api.session
 import repro.api.spec
+import repro.experiments.costing
 import repro.experiments.store
 import repro.experiments.sweep
 import repro.scenarios.compose
@@ -25,10 +26,19 @@ import repro.scenarios.generate
 import repro.scenarios.library
 import repro.scenarios.player
 import repro.scenarios.schedule
+import repro.service.client
+import repro.service.daemon
+import repro.service.jobs
+import repro.service.leases
 
 MODULES = [
+    repro.experiments.costing,
     repro.experiments.store,
     repro.experiments.sweep,
+    repro.service.client,
+    repro.service.daemon,
+    repro.service.jobs,
+    repro.service.leases,
     repro.scenarios.schedule,
     repro.scenarios.compose,
     repro.scenarios.generate,

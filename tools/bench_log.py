@@ -183,6 +183,34 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
             fabric.run(spec)
         assert fabric.executed_count == 0
 
+    # Service round-trip: submit a spec, collect the streamed results,
+    # over one persistent client connection. The daemon's store already
+    # holds every point of the warmed spec (and after the first pass
+    # the job record itself replays via content-hash dedup), so every
+    # pass is pure job_* protocol — submit, accept, stream, end — with
+    # zero simulations: the bench isolates submit-to-streamed-results
+    # latency, what `repro jobs submit` adds over a local cache hit.
+    from repro.api.spec import ExperimentSpec
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import ExperimentService
+
+    service = ExperimentService(warmed.store)
+    service.start()
+    service_spec = ExperimentSpec(
+        archs=("firefly", "dhetpnoc"),
+        bw_sets=(1,),
+        patterns=("skewed3",),
+        seeds=(1,),
+        fidelity=fidelity,
+        scenarios=(None, "steady"),
+    )
+    service_client = ServiceClient(service.address)
+
+    def service_submit() -> None:
+        for _ in range(10):
+            run = service_client.run_spec(service_spec)
+            assert run.executed == 0 and len(run.results) == 8
+
     return [
         ("run_steady", run_steady),
         ("run_low_load", run_low_load),
@@ -192,6 +220,7 @@ def build_benches() -> List[Tuple[str, Callable[[], None]]]:
         ("schedule_fingerprint", schedule_fingerprint),
         ("store_jsonl_roundtrip", store_jsonl_roundtrip),
         ("fabric_dispatch", fabric_dispatch),
+        ("service_submit", service_submit),
     ]
 
 

@@ -12,6 +12,7 @@ registry            entry                                  unknown-name error
 ``bandwidth_sets``  :class:`BandwidthSet` (keyed by index) ``KeyError``
 ``fidelities``      :class:`Fidelity` (keyed by name)      ``ValueError``
 ``transports``      ``factory() -> fabric Transport``      ``FabricError``
+``predictors``      ``fit(dataset, seed) -> QoSModel``     ``ValueError``
 ==================  =====================================  =========================
 
 Each registry lives next to its domain (``repro.arch.registry``,
@@ -47,6 +48,7 @@ from repro.arch.registry import architectures
 from repro.experiments.runner import fidelities
 from repro.experiments.store import store_backends
 from repro.fabric.transport import transports
+from repro.ml.model import predictors
 from repro.scenarios.library import scenarios
 from repro.traffic.bandwidth_sets import bandwidth_sets
 from repro.traffic.patterns import patterns
@@ -58,6 +60,7 @@ __all__ = [
     "bandwidth_sets",
     "fidelities",
     "patterns",
+    "predictors",
     "scenarios",
     "store_backends",
     "transports",

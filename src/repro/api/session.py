@@ -201,16 +201,21 @@ class Session:
         self.close()
 
     # -- planning -----------------------------------------------------------
-    def dry_run(self, spec: ExperimentSpec) -> DryRunReport:
+    def dry_run(
+        self, spec: ExperimentSpec, model=None
+    ) -> DryRunReport:
         """Count what executing *spec* would cost, without simulating.
 
         Grid mode computes every point's store key (sharing the
         executor's config/scenario fingerprint caches, so the keys are
         exactly execution's keys) and checks the session store;
-        adaptive mode reports the per-curve search estimate. The CLI's
-        ``run --spec --dry-run`` prints :meth:`DryRunReport.describe`,
-        and fabric sweeps use the same report to say how much work
-        they are about to scatter.
+        adaptive mode reports the per-curve search estimate — sharpened
+        by a fitted :class:`repro.ml.model.QoSModel` when *model* is
+        given (the search is replayed against the model's predicted
+        knee; see :func:`repro.experiments.costing.
+        adaptive_curve_estimates`). The CLI's ``run --spec --dry-run``
+        prints :meth:`DryRunReport.describe`, and fabric sweeps use the
+        same report to say how much work they are about to scatter.
         """
         counts: Dict[
             Tuple[str, int, str, Optional[str], int], List[int]
@@ -237,15 +242,17 @@ class Session:
                 total_points=len(points),
                 to_simulate=sum(c.to_simulate for c in curves),
             )
-        per_curve = spec.points_per_curve()
+        from repro.experiments.costing import adaptive_curve_estimates
+
+        per_curve = adaptive_curve_estimates(spec, model)
         curves = tuple(
-            CurveCount(*curve, points=per_curve, to_simulate=None)
-            for curve in spec.curves()
+            CurveCount(*curve, points=estimate, to_simulate=None)
+            for curve, estimate in zip(spec.curves(), per_curve)
         )
         return DryRunReport(
             mode=spec.mode,
             curves=curves,
-            total_points=spec.estimated_sims(),
+            total_points=sum(per_curve),
             to_simulate=None,
         )
 
@@ -276,7 +283,9 @@ class Session:
             }
         return self.executor.peaks(spec.to_sweep_spec())
 
-    def adaptive(self, spec: ExperimentSpec) -> List[KneeEstimate]:
+    def adaptive(
+        self, spec: ExperimentSpec, model=None
+    ) -> List[KneeEstimate]:
         """Knee-bisection search for every curve of *spec*.
 
         Curves iterate in spec axis order (arch, bw set, pattern,
@@ -284,6 +293,10 @@ class Session:
         range (its maximum plays the role the fidelity grid's maximum
         plays by default). Each estimate's points run through this
         session's store, so coinciding loads are shared with grid runs.
+        A fitted :class:`repro.ml.model.QoSModel` passed as *model*
+        seeds each curve's search from its prediction instead of the
+        stationary analytic estimate (the converged knee is identical
+        either way — only the simulation count changes).
         """
         max_fraction = (
             max(spec.load_fractions) if spec.load_fractions else None
@@ -306,6 +319,7 @@ class Session:
                                     resolution=spec.resolution,
                                     max_fraction=max_fraction,
                                     derive_seeds=spec.derive_seeds,
+                                    model=model,
                                 )
                             )
         return estimates

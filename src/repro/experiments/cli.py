@@ -22,6 +22,13 @@ Examples::
     dhetpnoc-repro scenarios sweep --scenario steady fault_storm --workers 4
     dhetpnoc-repro scenarios load my_workload.json
     dhetpnoc-repro scenarios run my_workload.json --arch dhetpnoc
+    dhetpnoc-repro trace record --out burst.jsonl --scenario burst_storm
+    dhetpnoc-repro trace info burst.jsonl
+    dhetpnoc-repro trace replay burst.jsonl --arch firefly dhetpnoc
+    dhetpnoc-repro scenarios ingest burst.jsonl --total-cycles 1500
+    dhetpnoc-repro ml export --store results/store.jsonl --out dataset.json
+    dhetpnoc-repro ml fit dataset.json --out model.json
+    dhetpnoc-repro sweep --adaptive --model model.json --pattern skewed3
 
 Every command is a thin wrapper over :mod:`repro.api`: flags build an
 :class:`~repro.api.ExperimentSpec` (one shared builder serves ``sweep``,
@@ -51,7 +58,12 @@ import inspect
 import sys
 from typing import List, Optional
 
-from repro.api.registry import architectures, bandwidth_sets, fidelities
+from repro.api.registry import (
+    architectures,
+    bandwidth_sets,
+    fidelities,
+    predictors,
+)
 from repro.api.session import Session, open_session
 from repro.api.spec import ExperimentSpec
 from repro.experiments.figures import ALL_EXHIBITS
@@ -195,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment service ('serve') and stream its results; output is "
         "bitwise-identical to local execution (see docs/service.md)",
     )
+    run.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="with an adaptive --spec: a fitted QoS model ('ml fit') "
+        "that seeds each curve's knee search and sharpens --dry-run "
+        "cost estimates (see docs/ml.md)",
+    )
     _add_parallel_options(run)
 
     everything = sub.add_parser("all", help="regenerate every exhibit")
@@ -233,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resolution", type=float, default=0.05, metavar="FRACTION",
         help="load-fraction step the adaptive search localises the knee "
         "to (default: 0.05)",
+    )
+    sweep.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="with --adaptive: seed each curve's knee search from this "
+        "fitted QoS model ('ml fit') instead of the analytic estimate "
+        "(see docs/ml.md)",
     )
     _add_parallel_options(sweep)
 
@@ -467,6 +491,123 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--out", metavar="REPORT.json",
                      help="write the report (per-schedule scores included)")
 
+    ingest = scen_sub.add_parser(
+        "ingest",
+        help="fit a recorded (JSONL) or exported (CSV) traffic trace "
+        "into a phased scenario schedule and register it "
+        "(see docs/ml.md)",
+    )
+    ingest.add_argument("path", metavar="TRACE[.jsonl|.csv]")
+    ingest.add_argument(
+        "--total-cycles", type=int, default=1500,
+        help="run length the phase boundaries are rescaled to — pick "
+        "the fidelity the scenario will be swept at (default: 1500, "
+        "the quick fidelity)",
+    )
+    ingest.add_argument(
+        "--name", default=None,
+        help="scenario name (default: trace_<stem>_<digest>)",
+    )
+    ingest.add_argument(
+        "--windows", type=int, default=16,
+        help="analysis windows the trace span is profiled in; more "
+        "windows resolve shorter phases (default: 16)",
+    )
+    ingest.add_argument(
+        "--out", metavar="SCRIPT.json",
+        help="also write the fitted schedule as a scenario-script JSON "
+        "('scenarios load' and spec scenario_files accept it)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="injection traces: record one run's accepted stream, "
+        "replay it bit-identically into any architecture, or "
+        "summarise a trace file",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record",
+        help="simulate once and record every accepted injection as JSONL",
+    )
+    record.add_argument("--out", required=True, metavar="TRACE.jsonl")
+    record.add_argument(
+        "--arch", default="dhetpnoc", choices=list(architectures.names()),
+    )
+    record.add_argument("--pattern", default="uniform",
+                        help="traffic pattern (or the base pattern for "
+                        "scenario phases that do not rebind)")
+    record.add_argument("--bw-set", type=int, default=1,
+                        choices=sorted(bandwidth_sets.names()))
+    record.add_argument(
+        "--load-fraction", type=float, default=0.6,
+        help="offered load as a fraction of aggregate photonic capacity",
+    )
+    record.add_argument(
+        "--scenario", default=None,
+        help="record a scenario playback (library name or script JSON "
+        "path) instead of a stationary pattern",
+    )
+    record.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    record.add_argument("--seed", type=int, default=1)
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="replay a recorded trace into one or more architectures "
+        "(identical injections, so metric deltas are pure architecture)",
+    )
+    replay.add_argument("trace", metavar="TRACE[.jsonl|.csv]")
+    replay.add_argument(
+        "--arch", nargs="+", default=["firefly", "dhetpnoc"],
+        choices=list(architectures.names()),
+    )
+    replay.add_argument("--bw-set", type=int, default=1,
+                        choices=sorted(bandwidth_sets.names()))
+    replay.add_argument("--fidelity", type=_fidelity, default=QUICK_FIDELITY)
+    replay.add_argument("--seed", type=int, default=1)
+
+    info = trace_sub.add_parser(
+        "info",
+        help="summarise a trace: span, digest, src/dst histograms and "
+        "the phase count ingestion would segment it into",
+    )
+    info.add_argument("trace", metavar="TRACE[.jsonl|.csv]")
+    info.add_argument("--top", type=int, default=5, metavar="N",
+                      help="histogram entries shown per side (default: 5)")
+
+    ml = sub.add_parser(
+        "ml",
+        help="learned QoS predictor: export a result store as a "
+        "training dataset, fit a deterministic model (see docs/ml.md)",
+    )
+    ml_sub = ml.add_subparsers(dest="ml_command", required=True)
+
+    export = ml_sub.add_parser(
+        "export",
+        help="flatten a result store into a tidy feature/target table "
+        "(deterministic: same store -> byte-identical dataset)",
+    )
+    export.add_argument("--store", required=True, metavar="PATH")
+    export.add_argument(
+        "--store-backend", default="auto", choices=list(backend_names()),
+    )
+    export.add_argument("--out", required=True, metavar="DATASET.json")
+
+    fit = ml_sub.add_parser(
+        "fit",
+        help="fit a QoS model on an exported dataset (deterministic: "
+        "same dataset + seed -> byte-identical model)",
+    )
+    fit.add_argument("dataset", metavar="DATASET.json")
+    fit.add_argument("--out", required=True, metavar="MODEL.json")
+    fit.add_argument(
+        "--kind", default="ridge", choices=sorted(predictors.names()),
+        help="predictor family (default: ridge)",
+    )
+    fit.add_argument("--seed", type=int, default=0,
+                     help="fit seed, recorded in the model (default: 0)")
+
     return parser
 
 
@@ -507,10 +648,12 @@ def _scenario_axis(spec: ExperimentSpec) -> bool:
     return any(s is not None for s in spec.scenarios)
 
 
-def _print_adaptive(spec: ExperimentSpec, session: Session) -> int:
+def _print_adaptive(
+    spec: ExperimentSpec, session: Session, model=None
+) -> int:
     """Render knee-bisection estimates for every curve of *spec*."""
     with_scenario = _scenario_axis(spec)
-    estimates = session.adaptive(spec)
+    estimates = session.adaptive(spec, model=model)
     rows = []
     total_sims = 0
     for est in estimates:
@@ -527,18 +670,25 @@ def _print_adaptive(spec: ExperimentSpec, session: Session) -> int:
             f"{est.peak.offered_gbps:.0f}",
             est.n_evaluated,
         ]
+        if model is not None:
+            row.insert(5, "-" if est.model_knee_gbps is None
+                       else f"{est.model_knee_gbps:.0f}")
         if with_scenario:
             row.insert(0, est.scenario or "-")
         rows.append(row)
     search_max = max(spec.load_fractions or spec.fidelity.load_fractions)
     grid_points = round(search_max / spec.resolution)
+    seeding = "model-seeded, " if model is not None else ""
     title = (
-        f"Adaptive saturation knees ({spec.fidelity.name} fidelity, "
-        f"resolution {spec.resolution:g}, {total_sims} simulated vs "
-        f"{grid_points * len(rows)} for the equivalent fixed grid)"
+        f"Adaptive saturation knees ({seeding}{spec.fidelity.name} "
+        f"fidelity, resolution {spec.resolution:g}, {total_sims} "
+        f"simulated vs {grid_points * len(rows)} for the equivalent "
+        f"fixed grid)"
     )
     headers = ["arch", "bw set", "pattern", "seed", "analytic knee Gb/s",
                "measured knee Gb/s", "peak Gb/s", "peak offered", "evals"]
+    if model is not None:
+        headers.insert(5, "model knee Gb/s")
     if with_scenario:
         headers.insert(0, "scenario")
     print(ascii_table(headers, rows, title=title))
@@ -601,7 +751,9 @@ def _print_gain_notes(spec, summaries, with_scenario: bool) -> None:
                 )
 
 
-def _execute_spec(spec: ExperimentSpec, session: Session) -> int:
+def _execute_spec(
+    spec: ExperimentSpec, session: Session, model=None
+) -> int:
     """Dispatch a spec to the matching renderer (grid vs adaptive)."""
     from repro.fabric.errors import FabricError
 
@@ -609,22 +761,46 @@ def _execute_spec(spec: ExperimentSpec, session: Session) -> int:
 
     if isinstance(session.executor, FabricExecutor):
         # Reuse the dry-run counters to say what is about to scatter.
-        report = session.dry_run(spec)
+        report = session.dry_run(spec, model)
         summary = report.describe().splitlines()[0]
         print(f"fabric {session.executor.address}: "
               f"{summary.split(': ', 1)[1]}")
     try:
         if spec.mode == "adaptive":
-            return _print_adaptive(spec, session)
+            return _print_adaptive(spec, session, model)
         return _print_replication(spec, session)
     except FabricError as exc:
         print(f"dhetpnoc-repro: fabric error: {exc}", file=sys.stderr)
         return 1
 
 
+def _load_model(path: str, prog: str):
+    """Load a fitted QoS model, or ``None`` after printing an error."""
+    from repro.ml.model import load_model
+
+    try:
+        return load_model(path)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"dhetpnoc-repro {prog}: error: bad model {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+    except RuntimeError as exc:  # numpy unavailable
+        print(f"dhetpnoc-repro {prog}: error: {exc}", file=sys.stderr)
+        return None
+
+
 def _run_sweep(args) -> int:
     if _invalid_patterns(args.pattern, "sweep"):
         return 2
+    model = None
+    if args.model is not None:
+        if not args.adaptive:
+            print("dhetpnoc-repro sweep: error: --model needs --adaptive "
+                  "(the model seeds the knee search)", file=sys.stderr)
+            return 2
+        model = _load_model(args.model, "sweep")
+        if model is None:
+            return 2
     try:
         spec = _spec_from_args(
             args, mode="adaptive" if args.adaptive else "grid"
@@ -634,7 +810,7 @@ def _run_sweep(args) -> int:
         return 2
     session = _make_session(args.workers, args.store, args.store_backend,
                             getattr(args, "fabric", None))
-    return _execute_spec(spec, session)
+    return _execute_spec(spec, session, model)
 
 
 def _run_spec_file(args) -> int:
@@ -647,6 +823,15 @@ def _run_spec_file(args) -> int:
         print(f"dhetpnoc-repro run: error: bad spec {args.spec!r}: {exc}",
               file=sys.stderr)
         return 2
+    model = None
+    if args.model is not None:
+        if spec.mode != "adaptive":
+            print("dhetpnoc-repro run: error: --model needs an adaptive "
+                  "spec (the model seeds the knee search)", file=sys.stderr)
+            return 2
+        model = _load_model(args.model, "run")
+        if model is None:
+            return 2
     if args.service is not None and not args.dry_run:
         return _run_spec_service(spec, args)
     session = _make_session(args.workers, args.store, args.store_backend,
@@ -654,7 +839,7 @@ def _run_spec_file(args) -> int:
     if args.dry_run:
         from repro.experiments.costing import describe_cost
 
-        report = session.dry_run(spec)
+        report = session.dry_run(spec, model)
         print(report.describe())
         sims = (
             report.to_simulate
@@ -665,7 +850,7 @@ def _run_spec_file(args) -> int:
         if cost:
             print(cost)
         return 0
-    return _execute_spec(spec, session)
+    return _execute_spec(spec, session, model)
 
 
 def _point_line(index: int, key: str, result, cached: bool) -> None:
@@ -939,6 +1124,29 @@ def _run_scenarios(args) -> int:
         print(json.dumps(schedule.to_dict()["phases"], indent=2))
         return 0
 
+    if args.scenario_command == "ingest":
+        from repro.scenarios.ingest import ingest_trace
+
+        try:
+            report = ingest_trace(
+                args.path,
+                args.total_cycles,
+                name=args.name,
+                n_windows=args.windows,
+            )
+        except (OSError, ValueError, ScenarioError) as exc:
+            print(f"dhetpnoc-repro scenarios: error: cannot ingest "
+                  f"{args.path!r}: {exc}", file=sys.stderr)
+            return 2
+        print(report.describe())
+        print(f"registered: run it with 'scenarios run "
+              f"{report.schedule.name}', sweep it with 'scenarios sweep "
+              f"--scenario {report.schedule.name}'")
+        if args.out:
+            report.schedule.save(args.out)
+            print(f"script written to {args.out}")
+        return 0
+
     if args.scenario_command == "fuzz":
         from repro.scenarios.differential import run_differential
 
@@ -1061,6 +1269,196 @@ def _run_scenarios(args) -> int:
     return _execute_spec(spec, session)
 
 
+def _run_ml(args) -> int:
+    """``ml export`` / ``ml fit``: the learned-QoS-predictor tooling."""
+    if args.ml_command == "export":
+        from repro.experiments.store import open_store
+        from repro.ml.dataset import export_dataset
+
+        store = open_store(args.store, args.store_backend)
+        dataset = export_dataset(store)
+        if not dataset.rows:
+            print(f"dhetpnoc-repro ml: error: store {args.store!r} holds "
+                  "no results to export (run a sweep with --store first)",
+                  file=sys.stderr)
+            return 2
+        dataset.save(args.out)
+        print(f"dataset written to {args.out}: {len(dataset.rows)} row(s) "
+              f"x {len(dataset.features)} feature(s), "
+              f"digest {dataset.digest()}")
+        return 0
+
+    # ml fit
+    from repro.ml.dataset import Dataset
+    from repro.ml.model import fit_model
+
+    try:
+        dataset = Dataset.load(args.dataset)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"dhetpnoc-repro ml: error: bad dataset "
+              f"{args.dataset!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        model = fit_model(dataset, kind=args.kind, seed=args.seed)
+    except RuntimeError as exc:  # numpy unavailable
+        print(f"dhetpnoc-repro ml: error: {exc}", file=sys.stderr)
+        return 2
+    model.save(args.out)
+    print(f"model written to {args.out}: {model.describe()}")
+    return 0
+
+
+def _record_trace(args) -> int:
+    """``trace record``: one simulation, accepted injections to JSONL."""
+    from repro import (
+        RandomStreams,
+        Simulator,
+        SystemConfig,
+        TrafficGenerator,
+        pattern_by_name,
+    )
+    from repro.experiments.runner import build_arch
+    from repro.traffic.bandwidth_sets import bandwidth_set_by_index
+    from repro.traffic.trace import TrafficTrace
+
+    if _invalid_patterns([args.pattern], "trace record"):
+        return 2
+    scenario = args.scenario
+    if scenario is not None:
+        scenario = _resolve_scenario(scenario)
+        if scenario is None:
+            return 2
+    bw_set = bandwidth_set_by_index(args.bw_set)
+    config = SystemConfig(bw_set=bw_set)
+    offered = args.load_fraction * bw_set.aggregate_gbps
+    streams = RandomStreams(args.seed)
+    sim = Simulator(clock_hz=config.clock_hz, seed=args.seed)
+    trace = TrafficTrace()
+    # Mirror the runner's wiring exactly, with the submit callback
+    # wrapped in the recorder *before* any generator captures it.
+    if scenario is None:
+        pattern = pattern_by_name(args.pattern).bind(
+            bw_set, config.n_clusters, config.cores_per_cluster,
+            streams.get("placement"),
+        )
+        arch = build_arch(args.arch, sim, config, pattern)
+        arch.submit = TrafficTrace.recording_submit(trace, arch.submit)
+        generator = TrafficGenerator.for_offered_gbps(
+            pattern, offered, streams.get("traffic"), arch.submit,
+            config.clock_hz,
+        )
+        arch.attach_generator(generator)
+    else:
+        from repro.scenarios.library import build_scenario
+        from repro.scenarios.player import ScenarioPlayer, initial_pattern
+        from repro.scenarios.schedule import ScenarioError
+
+        try:
+            schedule = build_scenario(scenario, args.fidelity.total_cycles)
+        except ScenarioError as exc:
+            print(f"dhetpnoc-repro trace: error: {exc}", file=sys.stderr)
+            return 2
+        pattern = initial_pattern(
+            schedule, args.pattern, bw_set,
+            config.n_clusters, config.cores_per_cluster, streams,
+        )
+        arch = build_arch(args.arch, sim, config, pattern)
+        arch.submit = TrafficTrace.recording_submit(trace, arch.submit)
+        player = ScenarioPlayer(
+            schedule, arch, pattern, offered, streams,
+            total_cycles=args.fidelity.total_cycles,
+            clock_hz=config.clock_hz,
+        )
+        arch.attach_generator(player)
+    sim.run_with_reset(args.fidelity.total_cycles, args.fidelity.reset_cycles)
+    arch.finalize()
+    trace.save(args.out)
+    source = f"{args.arch}/set{args.bw_set}/{args.pattern}"
+    if scenario is not None:
+        source += f"/{scenario}"
+    print(f"trace written to {args.out}: {len(trace)} record(s) over "
+          f"{trace.span_cycles} cycle(s) ({source} @ {offered:.0f} Gb/s, "
+          f"seed {args.seed})")
+    return 0
+
+
+def _run_trace(args) -> int:
+    """``trace record|replay|info``: injection-trace workflows."""
+    if args.trace_command == "record":
+        return _record_trace(args)
+
+    from repro.scenarios.ingest import load_any_trace
+    from repro.scenarios.schedule import ScenarioError
+
+    try:
+        trace = load_any_trace(args.trace)
+    except (OSError, ValueError, ScenarioError) as exc:
+        print(f"dhetpnoc-repro trace: error: bad trace "
+              f"{args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "replay":
+        from repro import RandomStreams, Simulator, SystemConfig, pattern_by_name
+        from repro.experiments.runner import build_arch
+        from repro.traffic.bandwidth_sets import bandwidth_set_by_index
+        from repro.traffic.trace import TraceReplayGenerator
+
+        bw_set = bandwidth_set_by_index(args.bw_set)
+        # Run long enough to drain the trace even when it outspans the
+        # fidelity's cycle budget.
+        total = max(args.fidelity.total_cycles, trace.span_cycles)
+        rows = []
+        for arch_name in args.arch:
+            config = SystemConfig(bw_set=bw_set)
+            sim = Simulator(clock_hz=config.clock_hz, seed=args.seed)
+            pattern = pattern_by_name("uniform").bind(
+                bw_set, config.n_clusters, config.cores_per_cluster,
+                RandomStreams(args.seed).get("placement"),
+            )
+            arch = build_arch(arch_name, sim, config, pattern)
+            generator = TraceReplayGenerator(trace, bw_set, arch.submit)
+            arch.attach_generator(generator)
+            sim.run_with_reset(total, args.fidelity.reset_cycles)
+            arch.finalize()
+            metrics = arch.metrics
+            rows.append([
+                arch_name,
+                f"{metrics.delivered_gbps(config.clock_hz):.1f}",
+                f"{metrics.latency.mean:.1f}",
+                f"{generator.acceptance_ratio:.3f}",
+                metrics.packets_delivered,
+            ])
+        print(ascii_table(
+            ["arch", "delivered Gb/s", "latency cyc", "accepted",
+             "packets delivered"],
+            rows,
+            title=(f"Trace replay ({len(trace)} records over "
+                   f"{trace.span_cycles} trace cycles, set{args.bw_set}, "
+                   f"{total} run cycles, identical injections per arch)"),
+        ))
+        return 0
+
+    # trace info
+    from collections import Counter
+
+    from repro.scenarios.ingest import infer_phase_count, trace_digest
+
+    def top(counter: Counter) -> str:
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ", ".join(f"core {c}: {n}" for c, n in ranked[:args.top])
+
+    print(f"trace: {args.trace}")
+    print(f"records: {len(trace)}")
+    if trace.corrupt_lines:
+        print(f"corrupt lines skipped: {trace.corrupt_lines}")
+    print(f"span: {trace.span_cycles} cycle(s)")
+    print(f"digest: {trace_digest(trace)}")
+    print(f"inferred phases: {infer_phase_count(trace)}")
+    print(f"top sources: {top(Counter(r.src for r in trace))}")
+    print(f"top destinations: {top(Counter(r.dst for r in trace))}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -1080,6 +1478,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "dhetpnoc-repro run: error: --service and --fabric are "
                 "mutually exclusive (a service daemon can itself dispatch "
                 "through a fabric: serve --fabric)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model is not None and args.service is not None:
+            print(
+                "dhetpnoc-repro run: error: --model and --service are "
+                "mutually exclusive (model seeding happens in the local "
+                "search loop)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model is not None and args.spec is None:
+            print(
+                "dhetpnoc-repro run: error: --model needs --spec (named "
+                "exhibits decide their own points)",
                 file=sys.stderr,
             )
             return 2
@@ -1141,6 +1554,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_store(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "ml":
+        return _run_ml(args)
     return 1
 
 

@@ -25,8 +25,11 @@ from typing import Optional
 from repro.experiments.runner import Fidelity
 
 __all__ = [
+    "adaptive_curve_estimates",
+    "adaptive_probe_count",
     "default_baseline_path",
     "describe_cost",
+    "estimate_adaptive_sims",
     "estimate_wall_seconds",
     "format_duration",
     "load_baseline",
@@ -138,6 +141,111 @@ def format_duration(seconds: float) -> str:
     if total < 3600:
         return f"~{total // 60}m{total % 60:02d}s"
     return f"~{total // 3600}h{total % 3600 // 60:02d}m"
+
+
+def adaptive_probe_count(
+    n: int, start: int, knee: int, model_seeded: bool = False
+) -> int:
+    """Distinct load points a knee search evaluates, replayed exactly.
+
+    A pure re-enactment of :func:`repro.experiments.sweep.
+    adaptive_knee_sweep`'s probe policy on an *n*-point grid, assuming
+    the true knee sits at grid index *knee* (the "reaches the plateau"
+    predicate becomes ``i >= knee``): the plateau probe at ``n``, the
+    seed probe at *start*, the descent (halving — with the
+    one-step-below check first when ``model_seeded``), then bisection.
+    Deterministic, so dry runs can price an adaptive curve without
+    simulating anything.
+
+    >>> adaptive_probe_count(20, 16, 16)                     # analytic
+    6
+    >>> adaptive_probe_count(20, 16, 16, model_seeded=True)  # exact seed
+    3
+    """
+    if n <= 1:
+        return 1
+    evaluated = {n}
+    start = min(max(start, 1), n - 1)
+    knee = min(max(knee, 1), n)
+    descent = []
+    if model_seeded and start - 1 >= 1:
+        descent.append(start - 1)
+    cand = start // 2
+    while cand >= 1:
+        if not descent or cand < descent[-1]:
+            descent.append(cand)
+        cand //= 2
+    lo, hi = 0, n
+    evaluated.add(start)
+    if start >= knee:
+        hi = start
+        for cand in descent:
+            evaluated.add(cand)
+            if cand >= knee:
+                hi = cand
+            else:
+                lo = cand
+                break
+    else:
+        lo = start
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        evaluated.add(mid)
+        if mid >= knee:
+            hi = mid
+        else:
+            lo = mid
+    return len(evaluated)
+
+
+def adaptive_curve_estimates(spec, model=None) -> list:
+    """Per-curve simulation estimates for an adaptive spec.
+
+    One entry per :meth:`ExperimentSpec.curves` row, in curve order.
+    Without a model every curve gets the spec's generic worst-case-ish
+    estimate (:meth:`ExperimentSpec.points_per_curve`). With a fitted
+    :class:`repro.ml.model.QoSModel`, curves inside the model's
+    vocabulary are priced by replaying the model-seeded search under
+    the assumption the prediction is right — the same policy the real
+    sweep runs, so a trustworthy model makes the dry-run number sharp.
+    """
+    from repro.traffic.bandwidth_sets import bandwidth_set_by_index
+
+    max_fraction = (
+        max(spec.load_fractions)
+        if spec.load_fractions
+        else max(spec.fidelity.load_fractions)
+    )
+    n = max(1, int(max_fraction / spec.resolution + 1e-9))
+    fallback = spec.points_per_curve()
+    estimates = []
+    for arch, bw_index, pattern, scenario, _seed in spec.curves():
+        count = fallback
+        if model is not None:
+            capacity = bandwidth_set_by_index(bw_index).aggregate_gbps
+            predicted = model.predict_knee(
+                arch,
+                bw_index,
+                pattern,
+                scenario=scenario,
+                resolution=spec.resolution,
+                max_fraction=max_fraction,
+                total_cycles=spec.fidelity.total_cycles,
+            )
+            if predicted is not None and capacity > 0:
+                start = round(predicted / capacity / spec.resolution)
+                start = min(max(start, 1), n - 1) if n > 1 else 1
+                count = adaptive_probe_count(
+                    n, start, start, model_seeded=True
+                )
+        estimates.append(count)
+    return estimates
+
+
+def estimate_adaptive_sims(spec, model=None) -> int:
+    """Total estimated simulations for an adaptive spec (the sum of
+    :func:`adaptive_curve_estimates`)."""
+    return sum(adaptive_curve_estimates(spec, model))
 
 
 def describe_cost(

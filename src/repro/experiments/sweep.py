@@ -700,6 +700,9 @@ class KneeEstimate:
     n_evaluated: int
     #: Points actually simulated (store misses) by this call.
     n_simulated: int
+    #: Learned-model seed estimate in Gb/s (``None``: no model supplied,
+    #: or the curve is outside the model's training vocabulary).
+    model_knee_gbps: Optional[float] = None
 
 
 def adaptive_knee_sweep(
@@ -714,6 +717,7 @@ def adaptive_knee_sweep(
     max_fraction: Optional[float] = None,
     plateau_margin: float = 0.10,
     derive_seeds: bool = False,
+    model=None,
 ) -> KneeEstimate:
     """Localise one curve's saturation knee with few simulations.
 
@@ -740,13 +744,23 @@ def adaptive_knee_sweep(
             ``(1 - plateau_margin) * delivered(max_fraction)``.
         derive_seeds: Derive the per-curve seed as ``SweepSpec`` does
             instead of using ``seed`` verbatim.
+        model: Optional fitted :class:`repro.ml.model.QoSModel`. When
+            given, its :meth:`~repro.ml.model.QoSModel.predict_knee`
+            estimate replaces the analytic fluid-model seed for the
+            search's starting probe (falling back to the analytic seed
+            for curves outside the model's training vocabulary). The
+            seed only positions the first probe — the bisection still
+            verifies against real simulations, so the *final*
+            :class:`KneeEstimate` is identical whichever seed was used;
+            a better seed just reaches it in fewer simulations.
 
     Returns:
         A :class:`KneeEstimate`. ``results`` holds every evaluated
         point, so the caller still gets a (sparse, knee-centred) curve.
 
     The search: one probe pins the plateau delivery at ``max_fraction``,
-    one probes the analytic estimate's grid point, the bracket expands
+    one probes the seed estimate's grid point (the model's when one is
+    supplied, the analytic model's otherwise), the bracket expands
     by halving, and bisection closes it to one grid step. Every probe is
     one point through :meth:`SweepExecutor.run_points`, so results are
     store-cached and deterministic regardless of worker count; a re-run
@@ -803,11 +817,40 @@ def adaptive_knee_sweep(
         return evaluate(i).delivered_gbps >= threshold
 
     analytic = analytic_knee_gbps(arch, bw_set_index, pattern, seed=point_seed)
-    if analytic is not None and capacity > 0:
-        start = round(analytic / capacity / resolution)
+    model_knee = None
+    if model is not None:
+        model_knee = model.predict_knee(
+            arch,
+            bw_set_index,
+            pattern,
+            scenario=scenario,
+            resolution=resolution,
+            max_fraction=max_fraction,
+            total_cycles=fidelity.total_cycles,
+            plateau_margin=plateau_margin,
+        )
+    seed_gbps = model_knee if model_knee is not None else analytic
+    if seed_gbps is not None and capacity > 0:
+        start = round(seed_gbps / capacity / resolution)
     else:
         start = n // 2
     start = min(max(start, 1), n - 1) if n > 1 else 1
+
+    # Descent candidates probed when the start is already at the
+    # plateau. The analytic path halves down from the start (unchanged:
+    # its probe sequence — and hence its store keys and simulation
+    # counts — is bitwise-stable across this change). A model seed
+    # claims to *be* the knee, so it first checks the grid point just
+    # below: when the claim is exact that one probe closes the bracket
+    # to a single step, instead of halving far below the knee.
+    descent = []
+    if model_knee is not None and start - 1 >= 1:
+        descent.append(start - 1)
+    cand = start // 2
+    while cand >= 1:
+        if not descent or cand < descent[-1]:
+            descent.append(cand)
+        cand //= 2
 
     # Bracket: lo = largest index known below the plateau (0 = trivially
     # so: zero offered load delivers nothing), hi = smallest index known
@@ -816,11 +859,9 @@ def adaptive_knee_sweep(
     if plateau > 0 and n > 1:
         if at_plateau(start):
             hi = start
-            cand = start // 2
-            while cand >= 1:
+            for cand in descent:
                 if at_plateau(cand):
                     hi = cand
-                    cand //= 2
                 else:
                     lo = cand
                     break
@@ -852,6 +893,7 @@ def adaptive_knee_sweep(
         results=ordered,
         n_evaluated=len(evaluated),
         n_simulated=simulated,
+        model_knee_gbps=model_knee,
     )
 
 

@@ -1,0 +1,31 @@
+"""Learned QoS prediction over the result store.
+
+The result store accumulates every simulated point this repo has ever
+run — a free dataset. This package closes the loop:
+
+* :mod:`repro.ml.dataset` exports the store as a tidy feature table
+  (architecture, bandwidth set, pattern, load, scenario coverage
+  dimensions → delivery/latency/energy targets), byte-deterministic in
+  the store contents.
+* :mod:`repro.ml.model` fits a dependency-light predictor (numpy ridge
+  or k-NN behind the ``predictors`` registry) whose weights serialise
+  to JSON, and whose :meth:`~repro.ml.model.QoSModel.predict_knee`
+  seeds adaptive knee sweeps in place of the stationary analytic model
+  — the analytic seed is known-wrong for scenario curves, the learned
+  one is trained on them.
+
+Everything is seed-deterministic: same store + same seed → identical
+dataset JSON, identical model weights, identical seeded sweep.
+"""
+
+from repro.ml.dataset import Dataset, export_dataset
+from repro.ml.model import QoSModel, fit_model, load_model, predictors
+
+__all__ = [
+    "Dataset",
+    "QoSModel",
+    "export_dataset",
+    "fit_model",
+    "load_model",
+    "predictors",
+]

@@ -1,0 +1,505 @@
+"""Trace ingestion: external traffic traces become named scenarios.
+
+The scenario library scripts *imagined* workloads; this module lets
+*recorded* ones in. It converts an external traffic trace — a
+:class:`~repro.traffic.trace.TrafficTrace` JSONL file, or a generic CSV
+export from a datacenter/GPU trace — into a
+:class:`~repro.scenarios.schedule.ScenarioSchedule` via fingerprinted
+phase segmentation, and registers the result through
+:func:`~repro.scenarios.library.register_schedule`. From that moment the
+replayed reality is a first-class scenario: sweepable, spec-validatable,
+content-fingerprinted into store keys, scorable by
+:mod:`repro.scenarios.coverage`, and servable like any library entry.
+
+Pipeline
+--------
+1. **Canonicalise.** Records are sorted by ``(cycle, src, dst, class)``
+   so every derived quantity — the content digest, the windowed
+   statistics, the fitted modulators — is independent of record order
+   within a cycle (concurrent recorders do not serialise same-cycle
+   injections deterministically).
+2. **Profile.** The trace's cycle span is cut into equal windows; each
+   window measures its injection rate (relative to the trace mean), the
+   burstiness of its per-cycle counts (Fano factor), and its
+   destination concentration (the busiest destination's share).
+3. **Segment.** Adjacent windows with similar rate and the same
+   hotspot verdict merge into segments; each boundary becomes a phase
+   boundary, rescaled from trace cycles to the target run length.
+4. **Fit.** Each segment gets the simplest modulator that explains it:
+   a monotone rate trend fits a :class:`~repro.scenarios.schedule.
+   RampLoad`, high burstiness fits a :class:`~repro.scenarios.schedule.
+   BurstLoad` (MMPP on/off with dwell times measured from the busy/idle
+   run lengths), anything else a flat :class:`~repro.scenarios.schedule.
+   StepLoad`. Hotspot segments rebind to the hotspot pattern aimed at
+   the observed busiest core.
+
+All fitted floats are rounded to fixed precision, so the schedule's
+:meth:`~repro.scenarios.schedule.ScenarioSchedule.fingerprint` is a
+stable function of the trace *content* — two ingests of the same trace
+(in any within-cycle record order) produce byte-identical scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.schedule import (
+    BurstLoad,
+    LoadModulator,
+    Phase,
+    RampLoad,
+    ScenarioError,
+    ScenarioSchedule,
+    StepLoad,
+)
+from repro.traffic.trace import TraceRecord, TrafficTrace
+
+__all__ = [
+    "IngestError",
+    "IngestReport",
+    "infer_phase_count",
+    "ingest_trace",
+    "load_any_trace",
+    "load_csv_trace",
+    "trace_digest",
+]
+
+#: Default number of analysis windows the trace span is cut into.
+DEFAULT_WINDOWS = 16
+
+#: Default run length ingested schedules are rescaled to (the quick
+#: fidelity's cycle count).
+DEFAULT_TOTAL_CYCLES = 1_500
+
+#: Relative rate jump (in units of the trace's mean rate) that starts a
+#: new segment.
+_SEGMENT_THRESHOLD = 0.5
+
+#: Fano factor of per-cycle injection counts above which a segment is
+#: fitted as an MMPP burst process instead of a flat step.
+_BURST_FANO = 2.0
+
+#: Busiest-destination traffic share above which a segment is treated
+#: as hotspot traffic (and rebinds the hotspot pattern).
+_HOTSPOT_SHARE = 0.30
+
+#: Decimal places every fitted modulator parameter is rounded to (fixed
+#: precision keeps schedule fingerprints stable).
+_ROUND = 4
+
+#: CSV header aliases accepted for each required/optional column.
+_CSV_COLUMNS = {
+    "cycle": ("cycle", "time", "timestamp"),
+    "src": ("src", "source", "src_core"),
+    "dst": ("dst", "dest", "destination", "dst_core"),
+    "bw_class": ("bw_class", "class", "bwclass"),
+}
+
+
+class IngestError(ScenarioError):
+    """Raised when a trace cannot be ingested (empty, malformed, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+def load_csv_trace(path) -> TrafficTrace:
+    """Load a generic CSV trace (datacenter/GPU export schema).
+
+    The header must name ``cycle``, ``src`` and ``dst`` columns (the
+    aliases in ``_CSV_COLUMNS`` are accepted, case-insensitively);
+    ``bw_class`` is optional and any extra columns — packet sizes,
+    flow ids, whatever the exporter added — are ignored. ``cycle`` may
+    be fractional (truncated); rescaling wall-clock timestamps to
+    cycles is the exporter's job. Invalid rows (negative cycle,
+    ``src == dst``) are counted in ``corrupt_lines`` like the JSONL
+    loader's torn-write tolerance; a file with *no* valid row raises.
+    """
+    path = Path(path)
+    records: List[TraceRecord] = []
+    corrupt = 0
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise IngestError(f"empty CSV trace {path}") from None
+        columns: Dict[str, int] = {}
+        lowered = [cell.strip().lower() for cell in header]
+        for field, aliases in _CSV_COLUMNS.items():
+            for alias in aliases:
+                if alias in lowered:
+                    columns[field] = lowered.index(alias)
+                    break
+        missing = [f for f in ("cycle", "src", "dst") if f not in columns]
+        if missing:
+            raise IngestError(
+                f"CSV trace {path} is missing columns {missing}; the header "
+                f"must name cycle/src/dst (got {header})"
+            )
+        for row in reader:
+            if not row or not any(cell.strip() for cell in row):
+                continue
+            try:
+                bw_class: Optional[int] = None
+                if "bw_class" in columns and row[columns["bw_class"]].strip():
+                    bw_class = int(float(row[columns["bw_class"]]))
+                records.append(
+                    TraceRecord(
+                        cycle=int(float(row[columns["cycle"]])),
+                        src=int(float(row[columns["src"]])),
+                        dst=int(float(row[columns["dst"]])),
+                        bw_class=bw_class,
+                    )
+                )
+            except (ValueError, IndexError):
+                corrupt += 1
+    if not records:
+        raise IngestError(
+            f"no valid records in CSV trace {path} "
+            f"({corrupt} corrupt row(s))"
+        )
+    records.sort(key=_record_key)
+    trace = TrafficTrace(records)
+    trace.corrupt_lines = corrupt
+    return trace
+
+
+def load_any_trace(path) -> TrafficTrace:
+    """Load a trace by extension: ``.csv`` via :func:`load_csv_trace`,
+    anything else as :class:`TrafficTrace` JSONL."""
+    if str(path).lower().endswith(".csv"):
+        return load_csv_trace(path)
+    return TrafficTrace.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Canonical form + digest
+# ---------------------------------------------------------------------------
+
+def _record_key(record: TraceRecord) -> Tuple[int, int, int, int]:
+    bw = -1 if record.bw_class is None else record.bw_class
+    return (record.cycle, record.src, record.dst, bw)
+
+
+def _canonical_records(trace: TrafficTrace) -> List[TraceRecord]:
+    """The trace's records in canonical order (within-cycle order does
+    not survive, by design — see the module docstring)."""
+    return sorted(trace.records, key=_record_key)
+
+
+def trace_digest(trace: TrafficTrace) -> str:
+    """Stable 12-hex content digest of a trace.
+
+    A pure function of the record *set* per cycle: reordering records
+    within a cycle cannot change it.
+    """
+    digest = hashlib.sha256()
+    for record in _canonical_records(trace):
+        digest.update(repr(_record_key(record)).encode())
+    return digest.hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# Windowed profiling
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Window:
+    """Statistics of one analysis window of the trace."""
+
+    start_cycle: int
+    end_cycle: int
+    #: Injection rate relative to the whole trace's mean rate.
+    scale: float
+    #: Fano factor (variance/mean) of the per-cycle injection counts.
+    fano: float
+    #: Busiest destination and its share of the window's traffic.
+    top_dst: int
+    top_share: float
+
+    @property
+    def hotspot(self) -> bool:
+        return self.top_share > _HOTSPOT_SHARE
+
+
+def _profile(trace: TrafficTrace, n_windows: int) -> List[_Window]:
+    records = _canonical_records(trace)
+    if not records:
+        raise IngestError("cannot ingest an empty trace")
+    span = records[-1].cycle + 1
+    width = max(1, -(-span // n_windows))  # ceil division
+    mean_rate = len(records) / span
+    per_cycle: Dict[int, int] = {}
+    for record in records:
+        per_cycle[record.cycle] = per_cycle.get(record.cycle, 0) + 1
+
+    windows: List[_Window] = []
+    position = 0
+    for start in range(0, span, width):
+        end = min(span, start + width)
+        counts: Dict[int, int] = {}
+        n_in_window = 0
+        while position < len(records) and records[position].cycle < end:
+            record = records[position]
+            counts[record.dst] = counts.get(record.dst, 0) + 1
+            n_in_window += 1
+            position += 1
+        cycles = end - start
+        rate = n_in_window / cycles
+        # Fano factor of the per-cycle counts (empty cycles included).
+        if rate > 0:
+            sq = sum(
+                per_cycle.get(c, 0) ** 2 for c in range(start, end)
+            )
+            variance = sq / cycles - rate * rate
+            fano = max(0.0, variance / rate)
+        else:
+            fano = 0.0
+        if counts:
+            top_count = max(counts.values())
+            # Deterministic tie-break: the lowest-numbered busiest core.
+            top_dst = min(d for d, c in counts.items() if c == top_count)
+            top_share = top_count / n_in_window
+        else:
+            top_dst, top_share = 0, 0.0
+        windows.append(
+            _Window(
+                start_cycle=start,
+                end_cycle=end,
+                scale=rate / mean_rate,
+                fano=fano,
+                top_dst=top_dst,
+                top_share=top_share,
+            )
+        )
+    return windows
+
+
+# ---------------------------------------------------------------------------
+# Segmentation + modulator fitting
+# ---------------------------------------------------------------------------
+
+def _segment(windows: Sequence[_Window]) -> List[List[_Window]]:
+    """Greedy merge of adjacent windows into homogeneous segments."""
+    segments: List[List[_Window]] = []
+    for window in windows:
+        if segments:
+            current = segments[-1]
+            mean_scale = sum(w.scale for w in current) / len(current)
+            if (
+                abs(window.scale - mean_scale) <= _SEGMENT_THRESHOLD
+                and window.hotspot == current[0].hotspot
+            ):
+                current.append(window)
+                continue
+        segments.append([window])
+    return segments
+
+
+def _monotone(values: Sequence[float]) -> bool:
+    diffs = [b - a for a, b in zip(values, values[1:])]
+    return all(d >= 0 for d in diffs) or all(d <= 0 for d in diffs)
+
+
+def _fit_burst(
+    trace_counts: Dict[int, int],
+    start: int,
+    end: int,
+    mean_rate: float,
+) -> BurstLoad:
+    """Fit MMPP on/off parameters from the busy/idle cycle structure."""
+    cycles = range(start, end)
+    counts = [trace_counts.get(c, 0) for c in cycles]
+    seg_mean = sum(counts) / len(counts)
+    busy = [c > seg_mean for c in counts]
+    on_counts = [c for c, b in zip(counts, busy) if b]
+    off_counts = [c for c, b in zip(counts, busy) if not b]
+    on_scale = (sum(on_counts) / len(on_counts) / mean_rate) if on_counts else 1.0
+    off_scale = (sum(off_counts) / len(off_counts) / mean_rate) if off_counts else 0.0
+    runs: Dict[bool, List[int]] = {True: [], False: []}
+    length = 0
+    for i, state in enumerate(busy):
+        length += 1
+        if i + 1 == len(busy) or busy[i + 1] != state:
+            runs[state].append(length)
+            length = 0
+    mean_on = (sum(runs[True]) / len(runs[True])) if runs[True] else 1.0
+    mean_off = (sum(runs[False]) / len(runs[False])) if runs[False] else 1.0
+    return BurstLoad(
+        on_scale=round(on_scale, _ROUND),
+        off_scale=round(off_scale, _ROUND),
+        mean_on_cycles=round(max(1.0, mean_on), _ROUND),
+        mean_off_cycles=round(max(1.0, mean_off), _ROUND),
+    )
+
+
+def _fit_modulator(
+    segment: Sequence[_Window],
+    trace_counts: Dict[int, int],
+    mean_rate: float,
+) -> LoadModulator:
+    scales = [w.scale for w in segment]
+    first, last = scales[0], scales[-1]
+    if (
+        len(scales) >= 2
+        and abs(last - first) > _SEGMENT_THRESHOLD
+        and _monotone(scales)
+    ):
+        return RampLoad(
+            start_scale=round(first, _ROUND), end_scale=round(last, _ROUND)
+        )
+    active = [w.fano for w in segment if w.scale > 0]
+    mean_fano = sum(active) / len(active) if active else 0.0
+    if mean_fano > _BURST_FANO:
+        return _fit_burst(
+            trace_counts,
+            segment[0].start_cycle,
+            segment[-1].end_cycle,
+            mean_rate,
+        )
+    mean_scale = sum(scales) / len(scales)
+    return StepLoad(scale=round(mean_scale, _ROUND))
+
+
+# ---------------------------------------------------------------------------
+# Ingestion front end
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one :func:`ingest_trace` call."""
+
+    #: The fitted (and, unless ``register=False``, registered) schedule.
+    schedule: ScenarioSchedule
+    #: Content digest of the source trace (also embedded in the default
+    #: scenario name).
+    digest: str
+    #: Cycle span of the source trace.
+    span_cycles: int
+    #: Records the trace contributed.
+    n_records: int
+    #: Run length the phase boundaries were rescaled to.
+    total_cycles: int
+
+    def describe(self) -> str:
+        kinds = [
+            p.modulator.kind if p.modulator else "step"
+            for p in self.schedule.phases
+        ]
+        return (
+            f"{self.schedule.name}: {len(self.schedule)} phase(s) "
+            f"[{', '.join(kinds)}] from {self.n_records} record(s) over "
+            f"{self.span_cycles} cycle(s); fingerprint "
+            f"{self.schedule.fingerprint()}"
+        )
+
+
+def _default_name(source: Optional[str], digest: str) -> str:
+    stem = Path(source).stem if source else "trace"
+    stem = re.sub(r"[^a-z0-9_]+", "_", stem.lower()).strip("_") or "trace"
+    return f"trace_{stem}_{digest}"
+
+
+def infer_phase_count(
+    trace: TrafficTrace, n_windows: int = DEFAULT_WINDOWS
+) -> int:
+    """How many phases segmentation would cut *trace* into (the number
+    ``trace info`` reports)."""
+    return len(_segment(_profile(trace, n_windows)))
+
+
+def ingest_trace(
+    source,
+    total_cycles: int = DEFAULT_TOTAL_CYCLES,
+    *,
+    name: Optional[str] = None,
+    n_windows: int = DEFAULT_WINDOWS,
+    register: bool = True,
+) -> IngestReport:
+    """Convert a trace into a registered :class:`ScenarioSchedule`.
+
+    Args:
+        source: A :class:`TrafficTrace`, or a path to one (JSONL, or CSV
+            via :func:`load_csv_trace`).
+        total_cycles: Run length the phase boundaries are rescaled to —
+            pick the fidelity the scenario will be swept at (registered
+            schedules have fixed boundaries; see ``register_schedule``).
+        name: Scenario name; defaults to ``trace_<stem>_<digest>``, so
+            distinct trace contents can never collide under one name.
+        n_windows: Analysis windows the span is profiled in (more
+            windows resolve shorter phases).
+        register: Register the schedule in the scenario library
+            (content-aware: re-ingesting the same trace is a no-op,
+            a *different* trace under an explicit taken name raises).
+
+    Returns:
+        An :class:`IngestReport` carrying the fitted schedule.
+    """
+    if total_cycles <= 0:
+        raise IngestError("total_cycles must be positive")
+    if n_windows <= 0:
+        raise IngestError("n_windows must be positive")
+    path: Optional[str] = None
+    if isinstance(source, TrafficTrace):
+        trace = source
+    else:
+        path = str(source)
+        trace = load_any_trace(path)
+    if not trace.records:
+        raise IngestError("cannot ingest an empty trace")
+
+    records = _canonical_records(trace)
+    span = records[-1].cycle + 1
+    mean_rate = len(records) / span
+    trace_counts: Dict[int, int] = {}
+    for record in records:
+        trace_counts[record.cycle] = trace_counts.get(record.cycle, 0) + 1
+
+    windows = _profile(trace, n_windows)
+    segments = _segment(windows)
+    digest = trace_digest(trace)
+
+    phases: List[Phase] = []
+    for segment in segments:
+        start = segment[0].start_cycle * total_cycles // span
+        if phases and start <= phases[-1].start_cycle:
+            # The rescale collapsed this boundary into the previous
+            # phase (short segment, coarse target run): merge them.
+            continue
+        modulator = _fit_modulator(segment, trace_counts, mean_rate)
+        hotspot = segment[0].hotspot
+        phases.append(
+            Phase(
+                start_cycle=start,
+                pattern="skewed_hotspot1" if hotspot else None,
+                modulator=modulator,
+                hotspot_core=segment[0].top_dst if hotspot else None,
+            )
+        )
+
+    schedule = ScenarioSchedule(
+        name=name or _default_name(path, digest),
+        phases=tuple(phases),
+        description=(
+            f"ingested trace ({len(records)} records over {span} cycles, "
+            f"digest {digest})"
+        ),
+    )
+    if register:
+        from repro.scenarios.library import register_schedule
+
+        register_schedule(schedule)
+    return IngestReport(
+        schedule=schedule,
+        digest=digest,
+        span_cycles=span,
+        n_records=len(records),
+        total_cycles=total_cycles,
+    )

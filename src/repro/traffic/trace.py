@@ -114,6 +114,15 @@ class TrafficTrace:
 
         return tick
 
+    @property
+    def span_cycles(self) -> int:
+        """Cycle span of the trace (last record's cycle + 1; 0 empty)."""
+        if not self.records:
+            return 0
+        if not self._sorted:
+            self.sort()
+        return self.records[-1].cycle + 1
+
     # -- persistence --------------------------------------------------------
     def save(self, path: Path | str) -> None:
         path = Path(path)
@@ -156,3 +165,66 @@ class TrafficTrace:
         trace = cls(records)
         trace.corrupt_lines = corrupt
         return trace
+
+
+class TraceReplayGenerator:
+    """A trace replay shaped like a traffic generator.
+
+    Wraps :meth:`TrafficTrace.replayer` in the generator protocol the
+    architectures drive (``tick``/``is_idle``/``acceptance_ratio``/
+    ``reset_stats``), so a recorded injection stream can be attached via
+    ``arch.attach_generator`` and replayed through the full simulation
+    loop — including the event-driven engine's idle-skip, which this
+    generator re-enables once the trace is exhausted.
+    """
+
+    def __init__(self, trace: TrafficTrace, bw_set: BandwidthSet, submit):
+        if not trace._sorted:
+            trace.sort()
+        self._records = trace.records
+        self._position = 0
+        self._submit = submit
+        self._bw_set = bw_set
+        self.packets_offered = 0
+        self.packets_accepted = 0
+
+    def tick(self, cycle: int) -> None:
+        """Inject every record due at/before *cycle* (no-op when idle)."""
+        records = self._records
+        while (
+            self._position < len(records)
+            and records[self._position].cycle <= cycle
+        ):
+            record = records[self._position]
+            self._position += 1
+            self.packets_offered += 1
+            accepted = self._submit(
+                Packet(
+                    src=record.src,
+                    dst=record.dst,
+                    n_flits=self._bw_set.packet_flits,
+                    flit_bits=self._bw_set.flit_bits,
+                    created_cycle=cycle,
+                    bw_class=record.bw_class,
+                )
+            )
+            if accepted:
+                self.packets_accepted += 1
+
+    def is_idle(self) -> bool:
+        """Idle only when the whole trace has been replayed (records
+        are due at fixed cycles, so an exhausted replay never injects
+        again and the engine may skip ahead)."""
+        return self._position >= len(self._records)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if self.packets_offered == 0:
+            return 1.0
+        return self.packets_accepted / self.packets_offered
+
+    def reset_stats(self) -> None:
+        """Zero the offered/accepted counters (warm-up reset); the
+        replay position is untouched."""
+        self.packets_offered = 0
+        self.packets_accepted = 0

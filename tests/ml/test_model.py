@@ -1,0 +1,124 @@
+"""Predictor determinism, serialisation and knee prediction.
+
+Fitting is closed-form with no stochastic step, so the tests can (and
+do) demand bit-identical weights across repeated fits — the property
+the CI ml lane verifies end to end with file diffs.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.experiments.runner import RunResult
+from repro.experiments.store import ResultStore
+from repro.ml.dataset import export_dataset
+from repro.ml.model import QoSModel, fit_model, predictors
+from repro.traffic.bandwidth_sets import BW_SET_1
+
+AGGREGATE = BW_SET_1.aggregate_gbps
+
+
+def make_result(offered, delivered, arch="dhetpnoc"):
+    return RunResult(
+        arch=arch, pattern="uniform", bw_set_index=1,
+        offered_gbps=offered, delivered_gbps=delivered,
+        photonic_gbps=delivered, per_core_gbps=delivered / 64,
+        energy_per_message_pj=4000.0, mean_latency_cycles=40.0,
+        acceptance_ratio=0.99, packets_delivered=100,
+        reservations_nacked=3, laser_power_mw=10.0, lit_wavelengths=8,
+    )
+
+
+def saturating_dataset(cap=500.0, resolution=0.1):
+    """A synthetic curve: delivery tracks offered load up to *cap*."""
+    store = ResultStore()
+    for i in range(1, 11):
+        fraction = round(i * resolution, 9)
+        offered = fraction * AGGREGATE
+        store.put(f"k{i:02d}", make_result(offered, min(offered, cap)))
+    return export_dataset(store)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(predictors.names()))
+    def test_fit_twice_is_bit_identical(self, kind):
+        dataset = saturating_dataset()
+        first = fit_model(dataset, kind=kind, seed=0)
+        second = fit_model(dataset, kind=kind, seed=0)
+        assert first.to_json() == second.to_json()
+
+    def test_registered_kinds(self):
+        assert set(predictors.names()) == {"ridge", "knn"}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            fit_model(saturating_dataset(), kind="forest")
+
+    def test_empty_dataset_raises(self):
+        empty = export_dataset(ResultStore())
+        with pytest.raises(ValueError, match="empty dataset"):
+            fit_model(empty)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("kind", sorted(predictors.names()))
+    def test_round_trip_preserves_predictions(self, kind, tmp_path):
+        dataset = saturating_dataset()
+        model = fit_model(dataset, kind=kind, seed=3)
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        clone = QoSModel.load(path)
+        assert clone.to_json() == model.to_json()
+        row = dict(dataset.rows[4])
+        assert clone.predict_row(row) == model.predict_row(row)
+        assert clone.seed == 3
+        assert clone.dataset_digest == dataset.digest()
+
+    def test_unknown_fields_are_rejected(self):
+        model = fit_model(saturating_dataset())
+        data = model.to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown model fields"):
+            QoSModel.from_dict(data)
+
+
+class TestVocabulary:
+    def test_unknown_category_predicts_none(self):
+        model = fit_model(saturating_dataset())
+        row = dict(saturating_dataset().rows[0])
+        row["arch"] = "never_trained"
+        assert model.predict_row(row) is None
+
+    def test_unknown_category_knee_is_none(self):
+        model = fit_model(saturating_dataset())
+        knee = model.predict_knee(
+            "never_trained", 1, "uniform",
+            resolution=0.1, max_fraction=1.0, total_cycles=700,
+        )
+        assert knee is None
+
+
+class TestKneePrediction:
+    def test_knn_recovers_the_synthetic_knee(self):
+        # k=1 makes grid queries exact training lookups, so the knee is
+        # the first grid load delivering >= 90% of the 500 Gb/s cap.
+        dataset = saturating_dataset(cap=500.0, resolution=0.1)
+        model = predictors.get("knn")(dataset, seed=0, k=1)
+        knee = model.predict_knee(
+            "dhetpnoc", 1, "uniform",
+            resolution=0.1, max_fraction=1.0, total_cycles=700,
+        )
+        expected = next(
+            f * AGGREGATE
+            for f in (round(0.1 * i, 9) for i in range(1, 11))
+            if min(f * AGGREGATE, 500.0) >= 0.9 * 500.0
+        )
+        assert knee == pytest.approx(expected)
+
+    def test_knee_is_none_without_delivery_target(self):
+        model = fit_model(saturating_dataset())
+        model.targets = ("mean_latency_cycles",)
+        assert model.predict_knee(
+            "dhetpnoc", 1, "uniform",
+            resolution=0.1, max_fraction=1.0, total_cycles=700,
+        ) is None

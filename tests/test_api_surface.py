@@ -50,6 +50,7 @@ REGISTRY_TABLES = {
     "bandwidth_sets",
     "fidelities",
     "patterns",
+    "predictors",
     "scenarios",
     "store_backends",
     "transports",
@@ -106,3 +107,4 @@ def test_registered_names_are_the_canonical_ones():
     assert {"jsonl", "sharded", "memory"} <= set(registry.store_backends.names())
     assert "uniform" in registry.patterns.names()
     assert "steady" in registry.scenarios.names()
+    assert set(registry.predictors.names()) == {"ridge", "knn"}
